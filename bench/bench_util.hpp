@@ -1,0 +1,47 @@
+/// \file bench_util.hpp
+/// \brief Shared helpers for the experiment binaries (E1–E9, A1–A3).
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "analysis/table.hpp"
+#include "core/params.hpp"
+#include "graph/generators.hpp"
+#include "graph/independence.hpp"
+#include "support/rng.hpp"
+
+namespace urn::bench {
+
+/// Measure Δ, κ₁, κ₂ on a graph and build the calibrated practical
+/// parameter set.  κ is computed exactly when the graph is small, sampled
+/// otherwise (sampling only ever under-estimates κ; we take the family
+/// bound max(2, measured)).
+struct MeasuredParams {
+  std::uint32_t delta = 0;
+  std::uint32_t kappa1 = 0;
+  std::uint32_t kappa2 = 0;
+  core::Params params;
+};
+
+inline MeasuredParams measured_params(const graph::Graph& g,
+                                      std::size_t kappa_sample = 0) {
+  MeasuredParams mp;
+  mp.delta = std::max(2u, g.max_closed_degree());
+  graph::KappaOptions opts;
+  opts.sample = kappa_sample;
+  mp.kappa1 = std::max(2u, graph::kappa1(g, opts).value);
+  mp.kappa2 = std::max(mp.kappa1, graph::kappa2(g, opts).value);
+  mp.params =
+      core::Params::practical(g.num_nodes(), mp.delta, mp.kappa1, mp.kappa2);
+  return mp;
+}
+
+/// Print a one-line banner common to all experiment binaries.
+inline void banner(const char* id, const char* claim) {
+  std::printf("[%s] %s\n\n", id, claim);
+}
+
+}  // namespace urn::bench

@@ -1,0 +1,83 @@
+/// Experiment E14 (extension) — the C₀ layer as a standalone
+/// MIS-and-clustering-from-scratch primitive.
+///
+/// The paper's related work places it in a lineage of initialization
+/// primitives: dominating sets [13], clustering [14], and MIS in
+/// O(log² n) [21], all in the unstructured radio model.  The first stage
+/// of the coloring algorithm *is* such a primitive: leaders form an MIS
+/// and every node associates with an adjacent leader.  We measure its
+/// quality (MIS size vs. greedy and Luby references) and its cost
+/// (cover latency vs. the full coloring run).
+
+#include "analysis/table.hpp"
+#include "baselines/message_passing.hpp"
+#include "bench_util.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "graph/independence.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+int main() {
+  using namespace urn;
+  bench::banner("E14", "leader election: MIS-from-scratch quality and cost");
+
+  analysis::Table table(
+      "e14_leader_election",
+      "E14: C0-layer MIS vs references (random UDG, n=160, 6 trials)");
+  table.set_header({"Delta", "k2", "leaders", "greedy_mis", "luby_mis",
+                    "maximal", "cover_T(mean)", "color_T(mean)",
+                    "stage frac"});
+
+  for (double side : {11.0, 8.0}) {
+    Rng rng(mix_seed(0xE14, static_cast<std::uint64_t>(side * 10)));
+    const auto net = graph::random_udg(160, side, 1.5, rng);
+    const auto mp = bench::measured_params(net.graph, 48);
+    const std::size_t n = net.graph.num_nodes();
+
+    Samples leaders, cover_mean, color_mean;
+    bool all_maximal = true;
+    for (std::uint64_t t = 0; t < 6; ++t) {
+      Rng wrng(mix_seed(0xE14F, t));
+      const auto ws = radio::WakeSchedule::uniform(
+          n, 2 * mp.params.threshold(), wrng);
+      const auto election = core::run_leader_election(
+          net.graph, mp.params, ws, mix_seed(0xE14A, t));
+      URN_CHECK(election.all_covered);
+      leaders.add(static_cast<double>(election.leaders.size()));
+      all_maximal = all_maximal && graph::is_maximal_independent_set(
+                                       net.graph, election.leaders);
+      Samples cov;
+      for (radio::Slot s : election.cover_latency) {
+        cov.add(static_cast<double>(s));
+      }
+      cover_mean.add(cov.mean());
+
+      const auto full = core::run_coloring(net.graph, mp.params, ws,
+                                           mix_seed(0xE14A, t));
+      color_mean.add(full.mean_latency());
+    }
+
+    Rng mrng(mix_seed(0xE14B, static_cast<std::uint64_t>(side)));
+    const auto greedy = graph::greedy_mis_random(net.graph, mrng);
+    const auto luby = baselines::luby_mis(net.graph, mrng);
+
+    table.add_row(
+        {analysis::Table::num(static_cast<std::uint64_t>(mp.delta)),
+         analysis::Table::num(static_cast<std::uint64_t>(mp.kappa2)),
+         analysis::Table::num(leaders.mean(), 1),
+         analysis::Table::num(static_cast<std::uint64_t>(greedy.size())),
+         analysis::Table::num(static_cast<std::uint64_t>(luby.mis.size())),
+         all_maximal ? "yes" : "NO",
+         analysis::Table::num(cover_mean.mean(), 0),
+         analysis::Table::num(color_mean.mean(), 0),
+         analysis::Table::num(cover_mean.mean() / color_mean.mean(), 2)});
+  }
+  table.emit();
+  std::printf("Shape: the leader set matches the size of centralized "
+              "greedy / Luby MIS references, and costs only a fraction of "
+              "the full coloring time — clustering comes 'for free' on "
+              "the way to the coloring, as the paper's construction "
+              "implies.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+/// Experiment E1 — Correctness with high probability (Theorems 2 and 5).
+///
+/// Paper claim: the algorithm produces a correct coloring with probability
+/// at least 1 − 2n⁻³, and every color class C_i stays an independent set
+/// throughout.  With the calibrated practical constants we measure the
+/// fraction of fully valid colorings over seeded trials as n grows, on
+/// random unit disk graphs of roughly constant density (the failure rate
+/// should stay at/near zero and not grow with n).
+
+#include "analysis/experiment.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace urn;
+  bench::banner("E1",
+                "correct coloring w.h.p. (Thm 2/5): valid fraction vs n");
+
+  analysis::Table table("e1_correctness",
+                        "E1: validity rate vs network size (random UDG, "
+                        "radius 1.5, ~12 avg degree, 20 trials each)");
+  table.set_header({"n", "Delta", "k1", "k2", "valid", "complete",
+                    "max_color", "bound k2*Delta", "mean_T", "max_T"});
+
+  const std::size_t trials = 20;
+  for (std::size_t n : {64u, 128u, 256u, 512u}) {
+    // Scale the field with sqrt(n) to keep density constant.
+    const double side = 1.5 * std::sqrt(static_cast<double>(n) / 2.8);
+    Rng rng(mix_seed(0xE1, n));
+    const auto net = graph::random_udg(n, side, 1.5, rng);
+    const auto mp = bench::measured_params(net.graph, n > 300 ? 64 : 0);
+    const auto agg = analysis::run_core_trials(
+        net.graph, mp.params,
+        analysis::uniform_schedule(n, 2 * mp.params.threshold()), trials,
+        mix_seed(0xE1F0, n));
+    table.add_row({analysis::Table::num(static_cast<std::uint64_t>(n)),
+                   analysis::Table::num(static_cast<std::uint64_t>(mp.delta)),
+                   analysis::Table::num(static_cast<std::uint64_t>(mp.kappa1)),
+                   analysis::Table::num(static_cast<std::uint64_t>(mp.kappa2)),
+                   analysis::Table::num(agg.valid_fraction(), 3),
+                   analysis::Table::num(agg.completed_fraction(), 3),
+                   analysis::Table::num(agg.max_color.max(), 0),
+                   analysis::Table::num(static_cast<std::uint64_t>(
+                       mp.kappa2 * mp.delta)),
+                   analysis::Table::num(agg.mean_latency.mean(), 0),
+                   analysis::Table::num(agg.max_latency.max(), 0)});
+  }
+  table.emit();
+  std::printf("Paper: failure probability <= 2/n^3 (with analytical "
+              "constants); shape to match: validity ~1.0, not degrading "
+              "with n.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+/// M1 — micro-benchmarks of the substrate (google-benchmark): simulator
+/// throughput, graph generation, κ computation, χ(P) evaluation, and the
+/// baselines' inner loops.  These justify the experiment sizes used in
+/// E1–E9 (the simulator sustains tens of millions of node-slots/s).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/message_passing.hpp"
+#include "core/chi.hpp"
+#include "core/protocol.hpp"
+#include "core/runner.hpp"
+#include "graph/coloring.hpp"
+#include "graph/generators.hpp"
+#include "graph/independence.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace urn;
+
+void BM_RandomUdgGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double side = 1.5 * std::sqrt(static_cast<double>(n) / 2.8);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto net = graph::random_udg(n, side, 1.5, rng);
+    benchmark::DoNotOptimize(net.graph.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RandomUdgGeneration)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Kappa2Exact(benchmark::State& state) {
+  Rng rng(2);
+  const auto net = graph::random_udg(
+      static_cast<std::size_t>(state.range(0)), 7.0, 1.4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::kappa2(net.graph).value);
+  }
+}
+BENCHMARK(BM_Kappa2Exact)->Arg(64)->Arg(128);
+
+void BM_Chi(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::int64_t> counters;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    counters.push_back(rng.range(-500, 500));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::chi(counters, 25));
+  }
+}
+BENCHMARK(BM_Chi)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ProtocolSlots(benchmark::State& state) {
+  // Whole-protocol throughput in node-slots per second.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const double side = 1.5 * std::sqrt(static_cast<double>(n) / 2.8);
+  const auto net = graph::random_udg(n, side, 1.5, rng);
+  const auto delta = std::max(2u, net.graph.max_closed_degree());
+  const auto params = core::Params::practical(n, delta, 5, 12);
+  std::uint64_t seed = 10;
+  std::int64_t node_slots = 0;
+  for (auto _ : state) {
+    const auto run = core::run_coloring(
+        net.graph, params, radio::WakeSchedule::synchronous(n), seed++);
+    benchmark::DoNotOptimize(run.max_color);
+    node_slots += static_cast<std::int64_t>(run.medium.slots_run) *
+                  static_cast<std::int64_t>(n);
+  }
+  state.SetItemsProcessed(node_slots);
+}
+BENCHMARK(BM_ProtocolSlots)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyColoring(benchmark::State& state) {
+  Rng rng(5);
+  const auto net = graph::random_udg(
+      static_cast<std::size_t>(state.range(0)), 12.0, 1.4, rng);
+  for (auto _ : state) {
+    auto colors = graph::greedy_coloring(net.graph);
+    benchmark::DoNotOptimize(graph::max_color(colors));
+  }
+}
+BENCHMARK(BM_GreedyColoring)->Arg(1024);
+
+void BM_LubyMis(benchmark::State& state) {
+  Rng grng(6);
+  const auto net = graph::random_udg(
+      static_cast<std::size_t>(state.range(0)), 12.0, 1.4, grng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto mis = baselines::luby_mis(net.graph, rng);
+    benchmark::DoNotOptimize(mis.mis.size());
+  }
+}
+BENCHMARK(BM_LubyMis)->Arg(1024);
+
+void BM_MpColoring(benchmark::State& state) {
+  Rng grng(7);
+  const auto net = graph::random_udg(
+      static_cast<std::size_t>(state.range(0)), 12.0, 1.4, grng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto r = baselines::mp_random_coloring(net.graph, rng);
+    benchmark::DoNotOptimize(r.rounds);
+  }
+}
+BENCHMARK(BM_MpColoring)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

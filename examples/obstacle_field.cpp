@@ -1,0 +1,106 @@
+/// \file obstacle_field.cpp
+/// \brief Indoor deployment with walls: the bounded-independence model in
+///        action (Sect. 2, Fig. 1).
+///
+/// Walls cut radio links, so the connectivity graph is no longer a unit
+/// disk graph — but it remains a bounded independence graph with slightly
+/// larger κ, and the algorithm (which never relied on disk geometry) runs
+/// unchanged.  We build a small "office floor" with rooms, measure κ₁/κ₂
+/// with and without the walls, run the protocol, and verify the locality
+/// property across dense and sparse rooms.
+
+#include <cstdio>
+
+#include "core/runner.hpp"
+#include "graph/coloring.hpp"
+#include "graph/generators.hpp"
+#include "graph/independence.hpp"
+#include "graph/traversal.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace urn;
+
+  // --- 1. An office floor: outer area 16x10, three interior walls with
+  //        door gaps.
+  std::vector<geom::Segment> walls = {
+      // vertical wall x=5 with a door gap at y in (4, 5).
+      {{5.0, 0.0}, {5.0, 4.0}},
+      {{5.0, 5.0}, {5.0, 10.0}},
+      // vertical wall x=10, door near the bottom.
+      {{10.0, 1.5}, {10.0, 10.0}},
+      // horizontal half wall in the right room.
+      {{10.0, 5.0}, {14.5, 5.0}},
+  };
+
+  Rng rng(77);
+  std::vector<geom::Vec2> pts;
+  // Left room: dense sensor cluster. Middle room: sparse. Right: medium.
+  for (int i = 0; i < 120; ++i) {
+    pts.push_back({rng.uniform(0.0, 5.0), rng.uniform(0.0, 10.0)});
+  }
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.uniform(5.0, 10.0), rng.uniform(0.0, 10.0)});
+  }
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.uniform(10.0, 16.0), rng.uniform(0.0, 10.0)});
+  }
+
+  const auto open_net = graph::obstacle_big(pts, {}, 1.8);
+  const auto net = graph::obstacle_big(pts, walls, 1.8);
+  std::printf("office floor: n=%zu; edges %zu without walls -> %zu with "
+              "walls\n",
+              pts.size(), open_net.graph.num_edges(), net.graph.num_edges());
+  std::printf("connected: %s (the protocol needs no connectivity — every "
+              "component colors itself)\n",
+              graph::is_connected(net.graph) ? "yes" : "no");
+
+  const auto k1_open = graph::kappa1(open_net.graph, {.sample = 48});
+  const auto k2_open = graph::kappa2(open_net.graph, {.sample = 48});
+  const auto k1 = graph::kappa1(net.graph, {.sample = 48});
+  const auto k2 = graph::kappa2(net.graph, {.sample = 48});
+  std::printf("independence: kappa1 %u -> %u, kappa2 %u -> %u "
+              "(walls cause only a small increase — the BIG premise)\n",
+              k1_open.value, k1.value, k2_open.value, k2.value);
+
+  // --- 2. Run the protocol on the walled graph. -------------------------
+  const auto delta = net.graph.max_closed_degree();
+  const core::Params params = core::Params::practical(
+      pts.size(), delta, std::max(2u, k1.value), std::max(2u, k2.value));
+  Rng wrng(78);
+  const auto ws = radio::WakeSchedule::uniform(
+      pts.size(), 2 * params.threshold(), wrng);
+  const auto run = core::run_coloring(net.graph, params, ws, 1234);
+  std::printf("\nprotocol: correct=%s complete=%s max_color=%d "
+              "(Delta=%u, bound (k2+1)Delta=%u)\n",
+              run.check.correct ? "yes" : "no",
+              run.check.complete ? "yes" : "no", run.max_color, delta,
+              (params.kappa2 + 1) * delta);
+  if (!run.check.valid()) return 1;
+
+  // --- 3. Locality per room: sparse rooms keep low colors. --------------
+  auto room_of = [](geom::Vec2 p) {
+    if (p.x < 5.0) return 0;
+    if (p.x < 10.0) return 1;
+    return 2;
+  };
+  const char* room_names[] = {"left (dense)", "middle (sparse)",
+                              "right (medium)"};
+  for (int room = 0; room < 3; ++room) {
+    graph::Color high = 0;
+    std::uint32_t max_deg = 0;
+    std::size_t count = 0;
+    for (graph::NodeId v = 0; v < pts.size(); ++v) {
+      if (room_of(pts[v]) != room) continue;
+      ++count;
+      high = std::max(high, run.colors[v]);
+      max_deg = std::max(max_deg, net.graph.closed_degree(v));
+    }
+    std::printf("room %-16s: %3zu nodes, max closed degree %2u, highest "
+                "color %3d\n",
+                room_names[room], count, max_deg, high);
+  }
+  std::printf("-> highest colors follow room density, not global Delta "
+              "(Theorem 4's locality).\n");
+  return 0;
+}

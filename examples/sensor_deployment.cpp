@@ -1,0 +1,109 @@
+/// \file sensor_deployment.cpp
+/// \brief The paper's motivating scenario end to end: a staggered aerial
+///        sensor deployment colors itself from scratch, then turns the
+///        coloring into a TDMA schedule (Sect. 1).
+///
+/// A vehicle drops sensors while moving across the field, so nodes wake
+/// in a spatial wave (nothing is synchronized); on the shared channel
+/// there is no MAC, no collision detection, no topology knowledge — the
+/// chicken-and-egg setting.  After the protocol finishes we derive the
+/// TDMA schedule, verify it is free of direct interference, and report
+/// the per-node bandwidth share, which tracks local density (Theorem 4).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/runner.hpp"
+#include "core/tdma.hpp"
+#include "geom/spatial_grid.hpp"
+#include "graph/generators.hpp"
+#include "graph/independence.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+int main() {
+  using namespace urn;
+
+  // --- 1. Deployment: 300 sensors along a 30x8 corridor. ----------------
+  Rng rng(2026);
+  const std::size_t n = 300;
+  graph::GeometricGraph net;
+  {
+    std::vector<geom::Vec2> pts;
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(0.0, 30.0), rng.uniform(0.0, 8.0)});
+    }
+    graph::GraphBuilder b(n);
+    const geom::SpatialGrid grid(pts, 1.6);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      grid.for_each_within(i, 1.6, [&](std::uint32_t j) {
+        if (j > i) b.add_edge(i, j);
+      });
+    }
+    net.graph = b.build();
+    net.positions = std::move(pts);
+  }
+  const auto delta = net.graph.max_closed_degree();
+  const auto k1 = std::max(2u, graph::kappa1(net.graph, {.sample = 64}).value);
+  const auto k2 = std::max(k1, graph::kappa2(net.graph, {.sample = 64}).value);
+  std::printf("corridor deployment: n=%zu m=%zu Delta=%u kappa1=%u "
+              "kappa2=%u\n",
+              n, net.graph.num_edges(), delta, k1, k2);
+
+  // --- 2. Wavefront wake-up: the drop vehicle moves at a finite speed. --
+  const core::Params params = core::Params::practical(n, delta, k1, k2);
+  Rng wrng(7);
+  const auto schedule = radio::WakeSchedule::wavefront(
+      net.positions, /*slots_per_unit=*/static_cast<double>(
+          params.passive_slots()),
+      /*jitter=*/500, wrng);
+  std::printf("wake-up wave: first node at slot 0, last at slot %lld\n",
+              static_cast<long long>(schedule.latest()));
+
+  // --- 3. Color from scratch. -------------------------------------------
+  const core::RunResult run =
+      core::run_coloring(net.graph, params, schedule, 99);
+  std::printf("coloring: correct=%s complete=%s colors<=%d leaders=%zu\n",
+              run.check.correct ? "yes" : "no",
+              run.check.complete ? "yes" : "no", run.max_color + 1,
+              run.num_leaders);
+  Samples latency;
+  for (radio::Slot t : run.latency) latency.add(static_cast<double>(t));
+  std::printf("per-node latency from own wake-up: mean=%.0f p95=%.0f "
+              "max=%.0f slots\n",
+              latency.mean(), latency.percentile(95.0), latency.max());
+  if (!run.check.valid()) return 1;
+
+  // --- 4. Derive and audit the TDMA schedule. ---------------------------
+  const core::TdmaSchedule tdma = core::derive_tdma(net.graph, run.colors);
+  const core::TdmaReport report = core::analyze_tdma(net.graph, tdma);
+  std::printf("\nTDMA: global frame=%u slots\n", tdma.frame);
+  std::printf("  direct interference free: %s (paper: coloring => no two "
+              "neighbors share a slot)\n",
+              report.direct_interference_free ? "yes" : "no");
+  std::printf("  max same-slot transmitters seen by a listener: %u "
+              "(bounded by kappa1=%u)\n",
+              report.max_neighbor_transmitters, k1);
+  std::printf("  max same-slot transmitters within two hops: %u "
+              "(bounded by kappa2=%u)\n",
+              report.max_two_hop_transmitters, k2);
+
+  // --- 5. Bandwidth share tracks local density (Theorem 4). -------------
+  Samples share_sparse, share_dense;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const auto deg = net.graph.closed_degree(v);
+    (deg <= delta / 3 ? share_sparse : share_dense)
+        .add(tdma.bandwidth_share(v));
+  }
+  if (share_sparse.count() > 0 && share_dense.count() > 0) {
+    std::printf("\nbandwidth share under local frames (1/local_frame):\n");
+    std::printf("  sparse nodes (deg <= Delta/3): mean %.4f\n",
+                share_sparse.mean());
+    std::printf("  dense nodes: mean %.4f\n", share_dense.mean());
+    std::printf("  -> sparse regions transmit %.1fx more often (locality, "
+                "Thm 4)\n",
+                share_sparse.mean() / share_dense.mean());
+  }
+  return 0;
+}

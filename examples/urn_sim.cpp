@@ -1,0 +1,169 @@
+/// \file urn_sim.cpp
+/// \brief Scenario runner: the whole library behind one command line.
+///
+/// Examples:
+///   urn_sim                                     # defaults: 200-node UDG
+///   urn_sim --n 400 --side 11 --radius 1.5 --wake uniform --trials 5
+///   urn_sim --topology clustered --wake wavefront --seed 3
+///   urn_sim --topology obstacles --walls 40 --tdma
+///   urn_sim --analytical --n 48 --side 4.5      # the paper's constants
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "core/runner.hpp"
+#include "core/tdma.hpp"
+#include "geom/spatial_grid.hpp"
+#include "graph/generators.hpp"
+#include "graph/independence.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+urn::graph::GeometricGraph build_topology(const urn::CliFlags& flags,
+                                          urn::Rng& rng) {
+  using namespace urn;
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+  const double side = flags.get_double("side");
+  const double radius = flags.get_double("radius");
+  const std::string topology = flags.get_string("topology");
+  if (topology == "udg") return graph::random_udg(n, side, radius, rng);
+  if (topology == "grid") {
+    const auto edge = static_cast<std::size_t>(std::sqrt(double(n)));
+    return graph::grid_udg(edge, edge, side / double(edge), radius,
+                           0.15 * side / double(edge), rng);
+  }
+  if (topology == "clustered") {
+    return graph::clustered_udg(std::max<std::size_t>(1, n / 30), 30, side,
+                                radius / 2.0, radius, rng);
+  }
+  if (topology == "obstacles") {
+    const auto walls = static_cast<std::size_t>(flags.get_int("walls"));
+    auto segs = graph::random_walls(walls, side, radius, 3 * radius, rng);
+    auto big = graph::random_obstacle_big(n, side, radius, std::move(segs),
+                                          rng);
+    return {std::move(big.graph), std::move(big.positions)};
+  }
+  URN_CHECK_MSG(false, "unknown --topology " << topology);
+  return {};
+}
+
+urn::radio::WakeSchedule build_wake(const urn::CliFlags& flags,
+                                    const urn::graph::GeometricGraph& net,
+                                    const urn::core::Params& params,
+                                    urn::Rng& rng) {
+  using namespace urn;
+  const std::string wake = flags.get_string("wake");
+  const std::size_t n = net.graph.num_nodes();
+  if (wake == "sync") return radio::WakeSchedule::synchronous(n);
+  if (wake == "uniform") {
+    return radio::WakeSchedule::uniform(n, 2 * params.threshold(), rng);
+  }
+  if (wake == "sequential") {
+    return radio::WakeSchedule::sequential(n, params.passive_slots(), rng);
+  }
+  if (wake == "poisson") return radio::WakeSchedule::poisson(n, 50.0, rng);
+  if (wake == "wavefront") {
+    return radio::WakeSchedule::wavefront(
+        net.positions, static_cast<double>(params.threshold()) / 4.0, 200,
+        rng);
+  }
+  URN_CHECK_MSG(false, "unknown --wake " << wake);
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace urn;
+
+  CliFlags flags;
+  flags.add_int("n", 200, "number of nodes");
+  flags.add_double("side", 10.0, "field side length");
+  flags.add_double("radius", 1.5, "transmission radius");
+  flags.add_string("topology", "udg",
+                   "udg | grid | clustered | obstacles");
+  flags.add_int("walls", 30, "wall count for --topology obstacles");
+  flags.add_string("wake", "uniform",
+                   "sync | uniform | sequential | poisson | wavefront");
+  flags.add_int("trials", 1, "independent trials to run");
+  flags.add_int("seed", 1, "master seed");
+  flags.add_bool("analytical", false,
+                 "use the paper's analytical constants (slow!)");
+  flags.add_double("scale", 1.0, "scale factor on the protocol constants");
+  flags.add_bool("tdma", false, "derive and audit a TDMA schedule");
+  flags.add_bool("verbose", false, "per-trial details");
+
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
+                 flags.usage("urn_sim").c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.usage("urn_sim").c_str());
+    return 0;
+  }
+
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  Rng rng(seed);
+  const graph::GeometricGraph net = build_topology(flags, rng);
+  const auto delta = std::max(2u, net.graph.max_closed_degree());
+  graph::KappaOptions kopts;
+  if (net.graph.num_nodes() > 250) kopts.sample = 64;
+  const auto k1 = std::max(2u, graph::kappa1(net.graph, kopts).value);
+  const auto k2 = std::max(k1, graph::kappa2(net.graph, kopts).value);
+  std::printf("topology %s: n=%zu m=%zu Delta=%u kappa1=%u kappa2=%u\n",
+              flags.get_string("topology").c_str(), net.graph.num_nodes(),
+              net.graph.num_edges(), delta, k1, k2);
+
+  core::Params params =
+      flags.get_bool("analytical")
+          ? core::Params::analytical(net.graph.num_nodes(), delta, k1, k2)
+          : core::Params::practical(net.graph.num_nodes(), delta, k1, k2);
+  params = params.scaled(flags.get_double("scale"));
+  std::printf("constants: alpha=%.1f beta=%.1f gamma=%.1f sigma=%.1f "
+              "(threshold %lld slots)\n",
+              params.alpha, params.beta, params.gamma, params.sigma,
+              static_cast<long long>(params.threshold()));
+
+  const auto trials = static_cast<std::size_t>(flags.get_int("trials"));
+  std::size_t valid = 0;
+  Samples mean_lat, max_lat, colors;
+  core::RunResult last;
+  for (std::size_t t = 0; t < trials; ++t) {
+    Rng wrng(mix_seed(seed, 1000 + t));
+    const auto schedule = build_wake(flags, net, params, wrng);
+    const auto run = core::run_coloring(net.graph, params, schedule,
+                                        mix_seed(seed, t));
+    if (run.check.valid()) ++valid;
+    mean_lat.add(run.mean_latency());
+    max_lat.add(static_cast<double>(run.max_latency()));
+    colors.add(static_cast<double>(run.max_color));
+    if (flags.get_bool("verbose")) {
+      std::printf("  trial %zu: valid=%d slots=%lld leaders=%zu "
+                  "max_color=%d meanT=%.0f\n",
+                  t, run.check.valid() ? 1 : 0,
+                  static_cast<long long>(run.medium.slots_run),
+                  run.num_leaders, run.max_color, run.mean_latency());
+    }
+    last = run;
+  }
+  std::printf("result: valid %zu/%zu | mean T %.0f | max T %.0f | "
+              "max color %.0f (bound (k2+1)*Delta=%u)\n",
+              valid, trials, mean_lat.mean(), max_lat.max(), colors.max(),
+              (k2 + 1) * delta);
+
+  if (flags.get_bool("tdma") && last.check.valid()) {
+    const auto tdma = core::derive_tdma(net.graph, last.colors);
+    const auto rep = core::analyze_tdma(net.graph, tdma);
+    std::printf("tdma: frame=%u direct-free=%s max-nbr-tx=%u "
+                "max-2hop-tx=%u clean-rx=%.2f\n",
+                tdma.frame, rep.direct_interference_free ? "yes" : "no",
+                rep.max_neighbor_transmitters, rep.max_two_hop_transmitters,
+                rep.clean_reception_fraction);
+  }
+  return valid == trials ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+#include "analysis/experiment.hpp"
+
+#include "support/rng.hpp"
+
+namespace urn::analysis {
+
+ScheduleFactory synchronous_schedule(std::size_t n) {
+  return [n](std::uint64_t) { return radio::WakeSchedule::synchronous(n); };
+}
+
+ScheduleFactory uniform_schedule(std::size_t n, radio::Slot window) {
+  return [n, window](std::uint64_t trial_seed) {
+    Rng rng(mix_seed(trial_seed, 0x5c4edu));
+    return radio::WakeSchedule::uniform(n, window, rng);
+  };
+}
+
+void record_run(CoreAggregate& agg, const core::RunResult& run) {
+  ++agg.trials;
+  if (run.check.valid()) ++agg.valid;
+  if (run.all_decided) ++agg.completed;
+  if (!run.latency.empty()) {
+    Samples lat;
+    for (radio::Slot t : run.latency) lat.add(static_cast<double>(t));
+    agg.max_latency.add(lat.max());
+    agg.mean_latency.add(lat.mean());
+    agg.p95_latency.add(lat.percentile(95.0));
+  }
+  agg.max_color.add(static_cast<double>(run.max_color));
+  agg.distinct_colors.add(
+      static_cast<double>(graph::distinct_colors(run.colors)));
+  agg.leaders.add(static_cast<double>(run.num_leaders));
+  const auto n = static_cast<double>(run.colors.size());
+  agg.resets_per_node.add(n > 0 ? static_cast<double>(run.total_resets) / n
+                                : 0.0);
+  agg.slots_run.add(static_cast<double>(run.medium.slots_run));
+}
+
+CoreAggregate run_core_trials(const graph::Graph& g,
+                              const core::Params& params,
+                              const ScheduleFactory& schedules,
+                              std::size_t trials, std::uint64_t seed0,
+                              radio::Slot max_slots) {
+  CoreAggregate agg;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::uint64_t trial_seed = mix_seed(seed0, t);
+    const radio::WakeSchedule schedule = schedules(trial_seed);
+    const core::RunResult run =
+        core::run_coloring(g, params, schedule, trial_seed, max_slots);
+    record_run(agg, run);
+  }
+  return agg;
+}
+
+}  // namespace urn::analysis

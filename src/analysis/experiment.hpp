@@ -1,0 +1,66 @@
+/// \file experiment.hpp
+/// \brief Replicated-trials harness: run the protocol over many seeds and
+///        aggregate the quantities every experiment reports.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/params.hpp"
+#include "core/runner.hpp"
+#include "graph/graph.hpp"
+#include "radio/wakeup.hpp"
+#include "support/stats.hpp"
+
+namespace urn::analysis {
+
+/// Produces the wake schedule for a given trial (fresh randomness per
+/// trial; deterministic in the trial seed).
+using ScheduleFactory =
+    std::function<radio::WakeSchedule(std::uint64_t trial_seed)>;
+
+/// A ScheduleFactory for the all-at-slot-0 schedule.
+[[nodiscard]] ScheduleFactory synchronous_schedule(std::size_t n);
+
+/// A ScheduleFactory waking each node uniformly in [0, window].
+[[nodiscard]] ScheduleFactory uniform_schedule(std::size_t n,
+                                               radio::Slot window);
+
+/// Aggregates over `trials` independent protocol executions.
+struct CoreAggregate {
+  std::size_t trials = 0;
+  std::size_t valid = 0;      ///< runs with a correct & complete coloring
+  std::size_t completed = 0;  ///< runs where all nodes decided in budget
+
+  Samples max_latency;   ///< per-trial max T_v
+  Samples mean_latency;  ///< per-trial mean T_v
+  Samples p95_latency;   ///< per-trial 95th-percentile T_v
+  Samples max_color;     ///< per-trial highest color
+  Samples distinct_colors;
+  Samples leaders;          ///< per-trial |C₀|
+  Samples resets_per_node;  ///< per-trial total resets / n
+  Samples slots_run;        ///< per-trial simulated slots
+
+  [[nodiscard]] double valid_fraction() const {
+    return trials ? static_cast<double>(valid) / static_cast<double>(trials)
+                  : 0.0;
+  }
+  [[nodiscard]] double completed_fraction() const {
+    return trials
+               ? static_cast<double>(completed) / static_cast<double>(trials)
+               : 0.0;
+  }
+};
+
+/// Run `trials` seeded executions of the core protocol and aggregate.
+/// Trial t uses master seed mix(seed0, t) for both the schedule and the run.
+[[nodiscard]] CoreAggregate run_core_trials(
+    const graph::Graph& g, const core::Params& params,
+    const ScheduleFactory& schedules, std::size_t trials,
+    std::uint64_t seed0, radio::Slot max_slots = 0);
+
+/// Record one already-computed run into an aggregate (for custom loops).
+void record_run(CoreAggregate& agg, const core::RunResult& run);
+
+}  // namespace urn::analysis

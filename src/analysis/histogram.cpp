@@ -1,0 +1,57 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace urn::analysis {
+
+Histogram::Histogram(const std::vector<double>& values, std::size_t bins) {
+  URN_CHECK(bins >= 1);
+  URN_CHECK(!values.empty());
+  lo_ = *std::min_element(values.begin(), values.end());
+  hi_ = *std::max_element(values.begin(), values.end());
+  if (hi_ <= lo_) hi_ = lo_ + 1.0;  // degenerate: all values equal
+  bin_width_ = (hi_ - lo_) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+  for (double v : values) {
+    auto bin = static_cast<std::size_t>((v - lo_) / bin_width_);
+    bin = std::min(bin, bins - 1);
+    ++counts_[bin];
+  }
+  total_ = values.size();
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  URN_CHECK(bin < counts_.size());
+  return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  return bin_low(bin) + bin_width_;
+}
+
+void Histogram::print(std::ostream& os, std::size_t width) const {
+  const std::size_t peak =
+      *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / std::max<std::size_t>(peak, 1);
+    os << '[' << std::setw(10) << std::fixed << std::setprecision(0)
+       << bin_low(b) << ", " << std::setw(10) << bin_high(b) << ") "
+       << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+}
+
+std::string Histogram::render(const Samples& samples, std::size_t bins,
+                              std::size_t width) {
+  const Histogram h(samples.values(), bins);
+  std::ostringstream os;
+  h.print(os, width);
+  return os.str();
+}
+
+}  // namespace urn::analysis

@@ -1,0 +1,47 @@
+/// \file histogram.hpp
+/// \brief ASCII histograms for latency / color distributions in the
+///        examples and experiment binaries.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace urn::analysis {
+
+/// A fixed-bin histogram over a sample set.
+class Histogram {
+ public:
+  /// Bins `values` into `bins` equal-width buckets over [min, max].
+  /// \pre bins >= 1; values non-empty.
+  Histogram(const std::vector<double>& values, std::size_t bins);
+
+  [[nodiscard]] std::size_t num_bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_high(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// Render as rows of "[lo, hi) ####… count"; `width` is the bar length
+  /// of the fullest bin.
+  void print(std::ostream& os, std::size_t width = 50) const;
+
+  /// Convenience: render a Samples object.
+  [[nodiscard]] static std::string render(const Samples& samples,
+                                          std::size_t bins,
+                                          std::size_t width = 50);
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  double bin_width_ = 0.0;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace urn::analysis

@@ -1,0 +1,108 @@
+#include "baselines/message_passing.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace urn::baselines {
+
+MisResult luby_mis(const graph::Graph& g, Rng& rng) {
+  MisResult result;
+  const std::size_t n = g.num_nodes();
+  std::vector<bool> live(n, true);
+  std::vector<bool> marked(n, false);
+  std::size_t live_count = n;
+
+  while (live_count > 0) {
+    ++result.rounds;
+    // Mark phase.
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (!live[v]) continue;
+      std::uint32_t deg = 0;
+      for (graph::NodeId u : g.neighbors(v)) deg += live[u] ? 1u : 0u;
+      marked[v] = (deg == 0) || rng.chance(1.0 / (2.0 * deg));
+    }
+    // Resolve: a mark survives unless a marked live neighbor has higher
+    // degree (ties broken towards the higher id).
+    std::vector<graph::NodeId> joiners;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (!live[v] || !marked[v]) continue;
+      bool beaten = false;
+      for (graph::NodeId u : g.neighbors(v)) {
+        if (!live[u] || !marked[u]) continue;
+        const auto dv = g.degree(v);
+        const auto du = g.degree(u);
+        if (du > dv || (du == dv && u > v)) {
+          beaten = true;
+          break;
+        }
+      }
+      if (!beaten) joiners.push_back(v);
+    }
+    for (graph::NodeId v : joiners) {
+      if (!live[v]) continue;  // may have been removed by a prior joiner
+      result.mis.push_back(v);
+      live[v] = false;
+      --live_count;
+      for (graph::NodeId u : g.neighbors(v)) {
+        if (live[u]) {
+          live[u] = false;
+          --live_count;
+        }
+      }
+    }
+    std::fill(marked.begin(), marked.end(), false);
+  }
+  std::sort(result.mis.begin(), result.mis.end());
+  return result;
+}
+
+MpColoringResult mp_random_coloring(const graph::Graph& g, Rng& rng) {
+  MpColoringResult result;
+  const std::size_t n = g.num_nodes();
+  result.colors.assign(n, graph::kUncolored);
+  std::vector<graph::Color> proposal(n, graph::kUncolored);
+  std::size_t uncolored = n;
+
+  while (uncolored > 0) {
+    ++result.rounds;
+    // Propose a random color from {0,…,deg(v)} \ finalized neighbor colors.
+    for (graph::NodeId v = 0; v < n; ++v) {
+      proposal[v] = graph::kUncolored;
+      if (result.colors[v] != graph::kUncolored) continue;
+      // Palette is exactly {0, …, deg(v)} — never more than Δ+1 colors.
+      std::vector<bool> used(g.degree(v) + 1, false);
+      for (graph::NodeId u : g.neighbors(v)) {
+        const graph::Color c = result.colors[u];
+        if (c != graph::kUncolored &&
+            static_cast<std::size_t>(c) < used.size()) {
+          used[static_cast<std::size_t>(c)] = true;
+        }
+      }
+      std::vector<graph::Color> free;
+      for (std::size_t c = 0; c < used.size(); ++c) {
+        if (!used[c]) free.push_back(static_cast<graph::Color>(c));
+      }
+      URN_CHECK(!free.empty());  // palette {0..deg} always has a free color
+      proposal[v] = free[rng.below(free.size())];
+    }
+    // Keep proposals that no uncolored neighbor duplicated.
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (proposal[v] == graph::kUncolored) continue;
+      bool conflict = false;
+      for (graph::NodeId u : g.neighbors(v)) {
+        if (proposal[u] != graph::kUncolored && proposal[u] == proposal[v]) {
+          conflict = true;
+          break;
+        }
+      }
+      if (!conflict) {
+        result.colors[v] = proposal[v];
+        --uncolored;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace urn::baselines

@@ -1,0 +1,56 @@
+/// \file message_passing.hpp
+/// \brief Idealized synchronous message-passing baselines (Sect. 3).
+///
+/// The paper contrasts the unstructured radio model with the classic
+/// message-passing model, "which abstracts away … interference, collisions,
+/// asynchronous wake-up": nodes know their neighbors, rounds are
+/// synchronous, and every message is delivered.  These reference algorithms
+/// quantify what that idealization buys:
+///
+///  * `luby_mis` — Luby's randomized maximal independent set [17],
+///    O(log n) rounds in expectation.
+///  * `mp_random_coloring` — the trial-based randomized (Δ+1)-coloring
+///    (each round every uncolored node proposes a random free color and
+///    keeps it if no uncolored neighbor proposed the same), the standard
+///    message-passing counterpart referenced via [16,17].
+///
+/// A "round" here would cost many slots on a real radio channel; experiment
+/// E4/E9 reports rounds separately and never conflates them with slots.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace urn::baselines {
+
+/// Result of a synchronous message-passing MIS computation.
+struct MisResult {
+  std::vector<graph::NodeId> mis;
+  std::uint32_t rounds = 0;
+};
+
+/// Luby's algorithm: each round, every live node marks itself with
+/// probability 1/(2·deg); marks beaten by a marked neighbor of higher
+/// degree (ties by id) are dropped; surviving marks join the MIS and
+/// N[MIS] leaves the graph.
+[[nodiscard]] MisResult luby_mis(const graph::Graph& g, Rng& rng);
+
+/// Result of a synchronous message-passing coloring.
+struct MpColoringResult {
+  std::vector<graph::Color> colors;
+  std::uint32_t rounds = 0;
+};
+
+/// Trial-based randomized (Δ+1)-coloring: every uncolored node proposes a
+/// uniform color from {0,…,deg(v)} minus its neighbors' final colors and
+/// finalizes unless an uncolored neighbor proposed the same color this
+/// round.  Terminates in O(log n) rounds w.h.p.; uses ≤ Δ+1 colors.
+[[nodiscard]] MpColoringResult mp_random_coloring(const graph::Graph& g,
+                                                  Rng& rng);
+
+}  // namespace urn::baselines

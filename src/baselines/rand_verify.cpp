@@ -1,0 +1,125 @@
+#include "baselines/rand_verify.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace urn::baselines {
+
+void RandVerifyNode::on_wake(radio::SlotContext& ctx) {
+  URN_CHECK(params_ != nullptr && id_ == ctx.id);
+  state_ = State::kListen;
+  listen_remaining_ = params_->listen_slots();
+  forbidden_.assign(static_cast<std::size_t>(params_->palette()), false);
+}
+
+void RandVerifyNode::pick_candidate(urn::Rng& rng) {
+  // Uniform pick among non-forbidden palette colors; the palette has
+  // ⌈p·Δ⌉+1 ≥ Δ+1 entries and at most Δ−1 neighbors can have decided,
+  // so a free color always exists.
+  std::int32_t free = 0;
+  for (bool f : forbidden_) free += f ? 0 : 1;
+  URN_CHECK(free > 0);
+  auto pick = static_cast<std::int32_t>(
+      rng.below(static_cast<std::uint64_t>(free)));
+  for (std::int32_t c = 0; c < params_->palette(); ++c) {
+    if (forbidden_[static_cast<std::size_t>(c)]) continue;
+    if (pick == 0) {
+      candidate_ = c;
+      return;
+    }
+    --pick;
+  }
+  URN_CHECK(false);  // unreachable
+}
+
+std::optional<radio::Message> RandVerifyNode::on_slot(
+    radio::SlotContext& ctx) {
+  switch (state_) {
+    case State::kListen: {
+      if (listen_remaining_ > 0) {
+        --listen_remaining_;
+        return std::nullopt;
+      }
+      state_ = State::kVerify;
+      verify_remaining_ = params_->verify_slots();
+      pick_candidate(ctx.random());
+      [[fallthrough]];
+    }
+    case State::kVerify: {
+      if (verify_remaining_ == 0) {
+        state_ = State::kDecided;
+        return on_slot(ctx);
+      }
+      --verify_remaining_;
+      if (ctx.random().chance(params_->p_send())) {
+        return radio::make_compete(id_, candidate_, 0);
+      }
+      return std::nullopt;
+    }
+    case State::kDecided: {
+      if (ctx.random().chance(params_->p_send())) {
+        return radio::make_decided(id_, candidate_);
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void RandVerifyNode::on_receive(radio::SlotContext& ctx,
+                                const radio::Message& msg) {
+  if (msg.type == radio::MsgType::kDecided) {
+    const auto c = static_cast<std::size_t>(msg.color_index);
+    if (c < forbidden_.size()) forbidden_[c] = true;
+    if (state_ == State::kVerify && msg.color_index == candidate_) {
+      ++restarts_;
+      verify_remaining_ = params_->verify_slots();
+      pick_candidate(ctx.random());
+    }
+    return;
+  }
+  if (msg.type == radio::MsgType::kCompete && state_ == State::kVerify &&
+      msg.color_index == candidate_) {
+    // A neighbor claims our candidate: restart with a fresh pick.
+    ++restarts_;
+    verify_remaining_ = params_->verify_slots();
+    pick_candidate(ctx.random());
+  }
+}
+
+Slot RandVerifyResult::max_latency() const {
+  Slot best = 0;
+  for (Slot t : latency) best = std::max(best, t);
+  return best;
+}
+
+RandVerifyResult run_rand_verify(const graph::Graph& g,
+                                 const RandVerifyParams& params,
+                                 const radio::WakeSchedule& schedule,
+                                 std::uint64_t seed, Slot max_slots) {
+  URN_CHECK(schedule.size() == g.num_nodes());
+  URN_CHECK(max_slots > 0);
+  std::vector<RandVerifyNode> nodes;
+  nodes.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) nodes.emplace_back(&params, v);
+  radio::Engine<RandVerifyNode> engine(g, schedule, std::move(nodes), seed);
+  const radio::RunStats stats = engine.run(max_slots);
+
+  RandVerifyResult result;
+  result.medium = stats;
+  result.all_decided = stats.all_decided;
+  result.colors.resize(g.num_nodes(), graph::kUncolored);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    result.colors[v] = engine.node(v).color();
+    result.total_restarts += engine.node(v).restarts();
+    if (engine.decision_slot(v) != radio::Engine<RandVerifyNode>::kUndecided) {
+      result.latency.push_back(engine.decision_latency(v));
+    }
+  }
+  result.check = graph::validate(g, result.colors);
+  result.max_color = graph::max_color(result.colors);
+  return result;
+}
+
+}  // namespace urn::baselines

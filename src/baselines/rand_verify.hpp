@@ -1,0 +1,110 @@
+/// \file rand_verify.hpp
+/// \brief Rand-verify coloring baseline — a reconstruction in the spirit of
+///        Busch, Magdon-Ismail, Sivrikaya, Yener (DISC 2004), restricted to
+///        one-hop coloring as discussed in the paper's related work.
+///
+/// Busch et al.'s protocol has no public implementation; this is a faithful
+/// *behavioral* reconstruction in the same unstructured radio model used by
+/// the paper's comparison (Sect. 3): a node picks a random color from an
+/// O(Δ) palette and defends it through a long verification window — long
+/// enough (Θ(Δ² log n) slots) that, without collision detection, two
+/// conflicting neighbors still hear each other w.h.p.  The claimed
+/// asymptotics in the paper's comparison are O(Δ) colors in O(Δ³ log n)
+/// time, versus the main algorithm's O(κ₂⁴ Δ log n); the shape to
+/// reproduce (experiment E9) is the much steeper growth in Δ.
+///
+/// Message reuse: `kCompete` carries a color *claim* (color_index =
+/// candidate), `kDecided` the final color.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/coloring.hpp"
+#include "radio/engine.hpp"
+#include "radio/message.hpp"
+#include "support/mathutil.hpp"
+
+namespace urn::baselines {
+
+using graph::NodeId;
+using radio::Slot;
+
+/// Parameters of the rand-verify baseline.
+struct RandVerifyParams {
+  std::uint64_t n = 2;       ///< network size estimate
+  std::uint32_t delta = 2;   ///< max closed degree estimate
+  double listen_factor = 2.0;   ///< initial listen window: ⌈l·Δ log n⌉
+  double verify_factor = 0.5;   ///< verification window: ⌈v·Δ² log n⌉
+  double palette_factor = 2.0;  ///< palette size: ⌈p·Δ⌉ colors
+
+  [[nodiscard]] Slot listen_slots() const {
+    return ceil_mul_log(listen_factor * delta, n);
+  }
+  [[nodiscard]] Slot verify_slots() const {
+    return ceil_mul_log(verify_factor * delta * delta, n);
+  }
+  [[nodiscard]] std::int32_t palette() const {
+    return static_cast<std::int32_t>(palette_factor * delta) + 1;
+  }
+  [[nodiscard]] double p_send() const {
+    return 1.0 / static_cast<double>(delta);
+  }
+};
+
+/// One rand-verify participant; plugged into radio::Engine<RandVerifyNode>.
+class RandVerifyNode {
+ public:
+  RandVerifyNode() = default;
+  RandVerifyNode(const RandVerifyParams* params, NodeId id)
+      : params_(params), id_(id) {}
+
+  void on_wake(radio::SlotContext& ctx);
+  std::optional<radio::Message> on_slot(radio::SlotContext& ctx);
+  void on_receive(radio::SlotContext& ctx, const radio::Message& msg);
+  [[nodiscard]] bool decided() const { return state_ == State::kDecided; }
+
+  [[nodiscard]] graph::Color color() const {
+    return decided() ? candidate_ : graph::kUncolored;
+  }
+  /// Number of verification restarts (conflicts observed).
+  [[nodiscard]] std::uint32_t restarts() const { return restarts_; }
+
+ private:
+  enum class State : std::uint8_t { kListen, kVerify, kDecided };
+
+  void pick_candidate(urn::Rng& rng);
+
+  const RandVerifyParams* params_ = nullptr;
+  NodeId id_ = graph::kInvalidNode;
+  State state_ = State::kListen;
+  Slot listen_remaining_ = 0;
+  Slot verify_remaining_ = 0;
+  std::int32_t candidate_ = graph::kUncolored;
+  std::vector<bool> forbidden_;
+  std::uint32_t restarts_ = 0;
+};
+
+static_assert(radio::NodeProtocol<RandVerifyNode>);
+
+/// Convenience runner mirroring core::run_coloring.
+struct RandVerifyResult {
+  std::vector<graph::Color> colors;
+  std::vector<Slot> latency;  ///< per decided node
+  bool all_decided = false;
+  graph::ColoringCheck check;
+  graph::Color max_color = graph::kUncolored;
+  radio::RunStats medium;
+  std::uint64_t total_restarts = 0;
+
+  [[nodiscard]] Slot max_latency() const;
+};
+
+[[nodiscard]] RandVerifyResult run_rand_verify(
+    const graph::Graph& g, const RandVerifyParams& params,
+    const radio::WakeSchedule& schedule, std::uint64_t seed,
+    Slot max_slots);
+
+}  // namespace urn::baselines

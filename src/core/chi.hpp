@@ -1,0 +1,25 @@
+/// \file chi.hpp
+/// \brief The counter-reset target χ(P_v) of Algorithm 1, line 15.
+///
+/// χ(P_v) is the **maximum** value x such that x ≤ 0 and x lies outside the
+/// critical range [d_v(w) − R, d_v(w) + R] of every locally stored
+/// competitor counter d_v(w), where R = ⌈γ ζ_i log n⌉.  Resetting to χ(P_v)
+/// (instead of plain 0) is what prevents cascading resets: the new counter
+/// is guaranteed to be outside every known competitor's critical range.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace urn::core {
+
+/// Compute χ for the given competitor counter values and critical range R.
+///
+/// \param counters current (aged) values d_v(w) for each w ∈ P_v
+/// \param critical_range R ≥ 0
+/// \return the largest x ≤ 0 with |x − d| > R for every d in `counters`
+[[nodiscard]] std::int64_t chi(std::span<const std::int64_t> counters,
+                               std::int64_t critical_range);
+
+}  // namespace urn::core

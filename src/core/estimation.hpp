@@ -1,0 +1,61 @@
+/// \file estimation.hpp
+/// \brief Local degree estimation — the paper's future-work direction
+///        (Sect. 6), implemented as an optional pre-phase.
+///
+/// The conclusions note that in single-hop networks nodes can
+/// "approximately count the number of their neighbors" (Jurdziński et al.
+/// [9]) and ask whether such techniques extend to multi-hop networks so
+/// the *local* maximum degree could replace the global estimate Δ.
+///
+/// We implement the geometric-probing estimator in the multi-hop radio
+/// model: in probe phase k = 0, 1, …, K every participating node transmits
+/// a probe with probability 2^{−k} in each of L slots.  The expected
+/// number of *successful* receptions at a node of closed degree δ peaks in
+/// the phase with 2^k ≈ δ (per-slot success probability δp(1−p)^{δ−1} is
+/// maximized at p ≈ 1/δ), so each node estimates δ̂ = 2^{k*} from its
+/// best phase.  A final exchange phase spreads the estimates so each node
+/// can take a local maximum.
+///
+/// Faithfulness caveat (stated in the paper as the open problem): this
+/// pre-phase assumes the participating nodes run it together — we use it
+/// with synchronous or bounded-window wake-up.  The asynchronous multi-hop
+/// adaptation is exactly what the paper leaves open.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "radio/wakeup.hpp"
+#include "support/rng.hpp"
+
+namespace urn::core {
+
+/// Parameters of the probing estimator.
+struct EstimationParams {
+  std::uint64_t n = 2;        ///< network size estimate (sets K and L)
+  double slots_factor = 8.0;  ///< L = ⌈factor·log n⌉ slots per phase
+
+  [[nodiscard]] std::uint32_t num_phases() const;  ///< K = ⌈log2 n⌉ + 1
+  [[nodiscard]] std::int64_t slots_per_phase() const;
+};
+
+/// Per-node outcome of the estimation pre-phase.
+struct EstimationResult {
+  /// δ̂_v: estimated closed degree per node.
+  std::vector<std::uint32_t> degree_estimate;
+  /// max of δ̂ over the closed neighborhood (after the exchange phase) —
+  /// the quantity that can replace Δ locally.
+  std::vector<std::uint32_t> local_max_estimate;
+  /// Total slots consumed by the pre-phase.
+  std::int64_t slots = 0;
+};
+
+/// Run the estimation pre-phase on g (all nodes participating).
+/// Deterministic in `seed`.
+[[nodiscard]] EstimationResult estimate_degrees(const graph::Graph& g,
+                                                const EstimationParams& params,
+                                                std::uint64_t seed);
+
+}  // namespace urn::core

@@ -1,0 +1,224 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/chi.hpp"
+#include "support/check.hpp"
+
+namespace urn::core {
+
+void ColoringNode::on_wake(radio::SlotContext& ctx) {
+  URN_CHECK(params_ != nullptr);
+  URN_CHECK(id_ == ctx.id);
+  last_slot_ = ctx.now;
+  enter_verify(0);  // upon waking up, a node is initially in A_0
+}
+
+void ColoringNode::enter_verify(std::int32_t color_index) {
+  phase_ = Phase::kVerify;
+  color_index_ = color_index;
+  passive_remaining_ = params_->passive_slots();
+  active_ = false;
+  counter_ = 0;
+  competitors_.clear();  // P_v := ∅ (Alg. 1 l. 1)
+  ++stats_.verify_states;
+  record_transition(last_slot_);
+}
+
+void ColoringNode::enter_decided(std::int32_t color_index) {
+  phase_ = Phase::kDecided;
+  color_index_ = color_index;  // color_v := i (Alg. 3 l. 1)
+  competitors_.clear();
+  if (color_index == 0) {
+    next_tc_ = 0;  // tc := 0, Q := ∅ (Alg. 3 l. 7–8)
+    queue_.clear();
+    serve_remaining_ = 0;
+  }
+  record_transition(last_slot_);
+}
+
+void ColoringNode::record_transition(Slot slot) {
+  if (transitions_.size() >= kMaxTransitions) return;
+  transitions_.push_back({slot, phase_, color_index_});
+}
+
+std::optional<radio::Message> ColoringNode::on_slot(radio::SlotContext& ctx) {
+  last_slot_ = ctx.now;
+  switch (phase_) {
+    case Phase::kVerify: {
+      if (!active_) {
+        // Passive listening phase (Alg. 1 l. 4–14): d_v(w) copies age
+        // implicitly; no transmissions.
+        if (passive_remaining_ > 0) {
+          --passive_remaining_;
+          return std::nullopt;
+        }
+        // c_v := χ(P_v) (Alg. 1 l. 15), then become active.  The naive /
+        // no-reset ablations skip χ and start from 0.
+        counter_ = (params_->reset_policy == ResetPolicy::kCriticalRange)
+                       ? chi_of_competitors(ctx.now)
+                       : 0;
+        active_ = true;
+      }
+      ++counter_;  // Alg. 1 l. 17
+      if (counter_ >= params_->threshold()) {
+        // Alg. 1 l. 19–20: decide color i and start Algorithm 3 at once.
+        enter_decided(color_index_);
+        return on_slot(ctx);
+      }
+      if (ctx.random().chance(params_->p_active())) {
+        return radio::make_compete(id_, color_index_, counter_);
+      }
+      return std::nullopt;
+    }
+
+    case Phase::kRequest: {
+      // Alg. 2 l. 2: transmit M_R(v, L(v)) with probability 1/(κ₂Δ).
+      if (ctx.random().chance(params_->p_active())) {
+        return radio::make_request(id_, leader_);
+      }
+      return std::nullopt;
+    }
+
+    case Phase::kDecided: {
+      if (color_index_ == 0) return leader_slot(ctx);
+      // Alg. 3 l. 4: non-leader C_i keeps announcing its color.
+      if (ctx.random().chance(params_->p_active())) {
+        return radio::make_decided(id_, color_index_);
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<radio::Message> ColoringNode::leader_slot(
+    radio::SlotContext& ctx) {
+  // Start serving the next request if idle (Alg. 3 l. 15–17).
+  if (serve_remaining_ == 0 && !queue_.empty()) {
+    serve_tc_ = ++next_tc_;
+    serve_remaining_ = params_->assign_window();
+  }
+  if (serve_remaining_ > 0) {
+    const NodeId target = queue_.front();
+    --serve_remaining_;
+    const bool transmit = ctx.random().chance(params_->p_leader());
+    if (serve_remaining_ == 0) {
+      // Window exhausted: remove w from Q (Alg. 3 l. 21).
+      served_.push_back(target);
+      queue_.pop_front();
+    }
+    if (transmit) return radio::make_assign(id_, target, serve_tc_);
+    return std::nullopt;
+  }
+  // Idle beacon (Alg. 3 l. 13–14).
+  if (ctx.random().chance(params_->p_leader())) {
+    return radio::make_decided(id_, 0);
+  }
+  return std::nullopt;
+}
+
+void ColoringNode::on_receive(radio::SlotContext& ctx,
+                              const radio::Message& msg) {
+  last_slot_ = ctx.now;
+  switch (phase_) {
+    case Phase::kVerify: {
+      // A message from a node in C_i covering us (Alg. 1 l. 10/23)?
+      const bool from_c0 = (msg.type == radio::MsgType::kDecided &&
+                            msg.color_index == 0) ||
+                           msg.type == radio::MsgType::kAssign;
+      if (color_index_ == 0 && from_c0) {
+        leader_ = msg.sender;  // L(v) := w
+        phase_ = Phase::kRequest;
+        record_transition(ctx.now);
+        return;
+      }
+      if (color_index_ > 0 && msg.type == radio::MsgType::kDecided &&
+          msg.color_index == color_index_) {
+        enter_verify(color_index_ + 1);  // A_suc = A_{i+1}
+        return;
+      }
+      // Competitor report M_A^i(w, c_w) (Alg. 1 l. 6–9 / 27–30).
+      if (msg.type == radio::MsgType::kCompete &&
+          msg.color_index == color_index_) {
+        switch (params_->reset_policy) {
+          case ResetPolicy::kCriticalRange: {
+            store_competitor(msg.sender, msg.counter, ctx.now);
+            if (active_) {
+              const std::int64_t range =
+                  params_->critical_range(color_index_);
+              if (std::llabs(counter_ - msg.counter) <= range) {
+                counter_ = chi_of_competitors(ctx.now);  // Alg. 1 l. 29
+                ++stats_.resets;
+              }
+            }
+            break;
+          }
+          case ResetPolicy::kNaive: {
+            // Strawman of Sect. 4: any higher counter resets us to 0.
+            if (active_ && msg.counter > counter_) {
+              counter_ = 0;
+              ++stats_.resets;
+            }
+            break;
+          }
+          case ResetPolicy::kNone:
+            break;
+        }
+      }
+      return;
+    }
+
+    case Phase::kRequest: {
+      // Alg. 2 l. 3: M_C^0(L(v), v, tc_v) from our leader, addressed to us.
+      if (msg.type == radio::MsgType::kAssign && msg.sender == leader_ &&
+          msg.target == id_) {
+        tc_ = msg.tc;
+        ++stats_.assignments_heard;
+        enter_verify(params_->first_verify_color(tc_));
+      }
+      return;
+    }
+
+    case Phase::kDecided: {
+      if (color_index_ != 0) return;
+      // Leader: enqueue new requests addressed to us (Alg. 3 l. 10–12).
+      if (msg.type != radio::MsgType::kRequest || msg.target != id_) return;
+      const NodeId requester = msg.sender;
+      if (std::find(queue_.begin(), queue_.end(), requester) != queue_.end()) {
+        return;  // already queued
+      }
+      const bool was_served =
+          std::find(served_.begin(), served_.end(), requester) !=
+          served_.end();
+      if (was_served) {
+        ++stats_.duplicate_serves;
+        if (params_->remember_served) return;  // extension: never re-serve
+      }
+      queue_.push_back(requester);
+      return;
+    }
+  }
+}
+
+void ColoringNode::store_competitor(NodeId who, std::int64_t value,
+                                    Slot now) {
+  for (Competitor& c : competitors_) {
+    if (c.who == who) {
+      c.value = value;
+      c.stamp = now;
+      return;
+    }
+  }
+  competitors_.push_back({who, value, now});
+}
+
+std::int64_t ColoringNode::chi_of_competitors(Slot now) const {
+  std::vector<std::int64_t> aged;
+  aged.reserve(competitors_.size());
+  for (const Competitor& c : competitors_) aged.push_back(c.aged(now));
+  return chi(aged, params_->critical_range(color_index_));
+}
+
+}  // namespace urn::core

@@ -1,0 +1,163 @@
+/// \file protocol.hpp
+/// \brief The coloring protocol of Sect. 4 — Algorithms 1, 2 and 3 as a
+///        single per-node state machine driven by the radio engine.
+///
+/// State diagram (Fig. 2):
+///
+///     Z ──wake──▶ A₀ ──c_v ≥ σΔlog n──▶ C₀ (leader)
+///                 │ M_C⁰                      │ serves FIFO queue of
+///                 ▼                           │ M_R requests with
+///                 R ──M_C⁰(L(v),v,tc)──▶ A_{tc(κ₂+1)} ─▶ … ─▶ C_i
+///                                             │ M_C^i
+///                                             ▼
+///                                           A_{i+1}
+///
+/// Faithfulness notes (mapped to paper lines):
+///  * passive phase of ⌈αΔ log n⌉ slots on every A_i entry (Alg. 1 l. 4);
+///  * competitor list P_v stores (value, slot) pairs; the per-slot +1 aging
+///    of d_v(w) (Alg. 1 l. 5/18) is computed lazily as value + elapsed;
+///  * reset to χ(P_v) only when a received counter is within the critical
+///    range ⌈γζ_i log n⌉ (Alg. 1 l. 29);
+///  * threshold test precedes the transmission attempt within a slot
+///    (Alg. 1 l. 19 before l. 22), and a node that decides starts behaving
+///    as C_i in the same slot;
+///  * leaders keep a requester in the queue for the whole ⌈β log n⌉
+///    broadcast window and re-admit it afterwards if it requests again
+///    (Alg. 3 l. 10 checks only current queue membership) — the optional
+///    `remember_served` extension suppresses re-admission (ablation A3);
+///  * any message from a node in C₀ (beacon or assignment) identifies a
+///    leader to an A₀ listener (Fig. 2 transition M_C⁰).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/params.hpp"
+#include "graph/coloring.hpp"
+#include "radio/engine.hpp"
+#include "radio/message.hpp"
+
+namespace urn::core {
+
+using graph::NodeId;
+using radio::Slot;
+
+/// Top-level protocol states (A_i and C_i carry the color index i).
+enum class Phase : std::uint8_t {
+  kVerify,   ///< A_i: verifying / competing for color i (Algorithm 1)
+  kRequest,  ///< R: requesting an intra-cluster color (Algorithm 2)
+  kDecided,  ///< C_i: color i fixed (Algorithm 3)
+};
+
+/// Per-node event counters for experiments and ablations.
+struct NodeStats {
+  std::uint32_t resets = 0;            ///< counter resets via Alg. 1 l. 29
+  std::uint32_t verify_states = 0;     ///< number of A_i states entered
+  std::uint32_t assignments_heard = 0; ///< intra-cluster colors received
+  std::uint32_t duplicate_serves = 0;  ///< leader only: re-served requesters
+};
+
+/// One state-machine transition, recorded for tracing/verification.
+/// The sequence of these per node must follow Fig. 2:
+/// A₀ → {C₀ | R}, R → A_{tc(κ₂+1)}, A_i → {C_i | A_{i+1}} for i > 0.
+struct Transition {
+  Slot slot = 0;                ///< local slot of the transition
+  Phase phase = Phase::kVerify; ///< state entered
+  std::int32_t color_index = 0; ///< i of A_i / C_i (unused for R)
+};
+
+/// One protocol participant; plugged into radio::Engine<ColoringNode>.
+class ColoringNode {
+ public:
+  ColoringNode() = default;
+
+  /// \param params shared parameter set (must outlive the node)
+  /// \param id this node's identifier
+  ColoringNode(const Params* params, NodeId id) : params_(params), id_(id) {}
+
+  // --- radio::NodeProtocol interface -------------------------------------
+
+  void on_wake(radio::SlotContext& ctx);
+  std::optional<radio::Message> on_slot(radio::SlotContext& ctx);
+  void on_receive(radio::SlotContext& ctx, const radio::Message& msg);
+  [[nodiscard]] bool decided() const { return phase_ == Phase::kDecided; }
+
+  // --- inspection ---------------------------------------------------------
+
+  [[nodiscard]] Phase phase() const { return phase_; }
+  /// Final color (graph::kUncolored until decided).
+  [[nodiscard]] graph::Color color() const {
+    return decided() ? color_index_ : graph::kUncolored;
+  }
+  /// Color index currently verified (only meaningful in kVerify).
+  [[nodiscard]] std::int32_t verifying_color() const { return color_index_; }
+  [[nodiscard]] bool is_leader() const {
+    return decided() && color_index_ == 0;
+  }
+  /// Leader this node associated with (kInvalidNode for leaders / pre-R).
+  [[nodiscard]] NodeId leader() const { return leader_; }
+  /// Intra-cluster color received from the leader (−1 before assignment).
+  [[nodiscard]] std::int32_t intra_cluster_color() const { return tc_; }
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  [[nodiscard]] std::int64_t counter() const { return counter_; }
+  /// Current competitor-list size |P_v|.
+  [[nodiscard]] std::size_t competitors() const { return competitors_.size(); }
+  /// The node's state-transition history (capped at kMaxTransitions).
+  [[nodiscard]] const std::vector<Transition>& transitions() const {
+    return transitions_;
+  }
+
+  /// Transition-log capacity; a well-behaved run needs ≤ κ₂ + 3 entries.
+  static constexpr std::size_t kMaxTransitions = 256;
+
+ private:
+  /// A locally stored competitor counter d_v(w): `value` as of `stamp`,
+  /// aged by +1 per slot (Alg. 1 l. 5/18), evaluated lazily.
+  struct Competitor {
+    NodeId who = graph::kInvalidNode;
+    std::int64_t value = 0;
+    Slot stamp = 0;
+
+    [[nodiscard]] std::int64_t aged(Slot now) const {
+      return value + (now - stamp);
+    }
+  };
+
+  void enter_verify(std::int32_t color_index);
+  void enter_decided(std::int32_t color_index);
+  void record_transition(Slot slot);
+  void store_competitor(NodeId who, std::int64_t value, Slot now);
+  [[nodiscard]] std::int64_t chi_of_competitors(Slot now) const;
+  std::optional<radio::Message> leader_slot(radio::SlotContext& ctx);
+
+  const Params* params_ = nullptr;
+  NodeId id_ = graph::kInvalidNode;
+
+  Phase phase_ = Phase::kVerify;
+  std::int32_t color_index_ = 0;  ///< i of the current A_i / C_i
+  std::int64_t passive_remaining_ = 0;
+  bool active_ = false;
+  std::int64_t counter_ = 0;  ///< c_v
+  std::vector<Competitor> competitors_;  ///< P_v with stored d_v(w)
+
+  NodeId leader_ = graph::kInvalidNode;  ///< L(v)
+  std::int32_t tc_ = -1;                 ///< intra-cluster color
+
+  // Leader (C₀) service state (Algorithm 3).
+  std::deque<NodeId> queue_;             ///< FIFO request queue Q
+  std::vector<NodeId> served_;           ///< requesters already served
+  std::int32_t next_tc_ = 0;             ///< running intra-cluster color
+  std::int64_t serve_remaining_ = 0;     ///< slots left in current window
+  std::int32_t serve_tc_ = 0;
+
+  NodeStats stats_;
+  Slot last_slot_ = 0;  ///< slot of the most recent callback (for tracing)
+  std::vector<Transition> transitions_;
+};
+
+static_assert(radio::NodeProtocol<ColoringNode>);
+
+}  // namespace urn::core

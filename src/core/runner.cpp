@@ -1,0 +1,157 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace urn::core {
+
+Slot RunResult::max_latency() const {
+  Slot best = 0;
+  for (Slot t : latency) best = std::max(best, t);
+  return best;
+}
+
+double RunResult::mean_latency() const {
+  if (latency.empty()) return 0.0;
+  double sum = 0.0;
+  for (Slot t : latency) sum += static_cast<double>(t);
+  return sum / static_cast<double>(latency.size());
+}
+
+Slot default_slot_budget(const Params& params,
+                         const radio::WakeSchedule& schedule) {
+  // Theorem 3: every node decides within O(κ₂⁴ Δ log n) of its wake-up.
+  // Budget = last wake + a large multiple of the per-state quantities.
+  const double k2 = params.kappa2;
+  const Slot per_state = params.passive_slots() + 3 * params.threshold() +
+                         2 * params.critical_range(1);
+  const auto states = static_cast<Slot>(3.0 * (k2 + 2.0));
+  return schedule.latest() + states * per_state + 10000;
+}
+
+RunResult run_coloring(const graph::Graph& g, const Params& params,
+                       const radio::WakeSchedule& schedule,
+                       std::uint64_t seed, Slot max_slots,
+                       radio::MediumOptions medium) {
+  params.validate();
+  URN_CHECK(schedule.size() == g.num_nodes());
+  if (max_slots == 0) max_slots = default_slot_budget(params, schedule);
+
+  std::vector<ColoringNode> nodes;
+  nodes.reserve(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    nodes.emplace_back(&params, v);
+  }
+  radio::Engine<ColoringNode> engine(g, schedule, std::move(nodes), seed,
+                                     medium);
+  const radio::RunStats stats = engine.run(max_slots);
+
+  RunResult result;
+  result.medium = stats;
+  result.all_decided = stats.all_decided;
+  result.colors.resize(g.num_nodes(), graph::kUncolored);
+  result.wake_slot.resize(g.num_nodes());
+  result.decision_slot.resize(g.num_nodes());
+  result.leader_of.resize(g.num_nodes(), graph::kInvalidNode);
+  result.intra_cluster.resize(g.num_nodes(), -1);
+
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const ColoringNode& node = engine.node(v);
+    result.wake_slot[v] = schedule.wake_slot(v);
+    result.decision_slot[v] = engine.decision_slot(v);
+    result.colors[v] = node.color();
+    if (engine.decision_slot(v) != radio::Engine<ColoringNode>::kUndecided) {
+      result.latency.push_back(engine.decision_latency(v));
+    }
+    if (node.is_leader()) ++result.num_leaders;
+    result.leader_of[v] = node.leader();
+    result.intra_cluster[v] = node.intra_cluster_color();
+    result.total_resets += node.stats().resets;
+    result.max_verify_states =
+        std::max(result.max_verify_states, node.stats().verify_states);
+    result.duplicate_serves += node.stats().duplicate_serves;
+  }
+
+  result.check = graph::validate(g, result.colors);
+  result.max_color = graph::max_color(result.colors);
+  return result;
+}
+
+LeaderElectionResult run_leader_election(const graph::Graph& g,
+                                         const Params& params,
+                                         const radio::WakeSchedule& schedule,
+                                         std::uint64_t seed,
+                                         Slot max_slots) {
+  params.validate();
+  URN_CHECK(schedule.size() == g.num_nodes());
+  if (max_slots == 0) max_slots = default_slot_budget(params, schedule);
+
+  std::vector<ColoringNode> nodes;
+  nodes.reserve(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    nodes.emplace_back(&params, v);
+  }
+  radio::Engine<ColoringNode> engine(g, schedule, std::move(nodes), seed);
+
+  LeaderElectionResult result;
+  result.leader_of.assign(g.num_nodes(), graph::kInvalidNode);
+  result.cover_latency.assign(g.num_nodes(), -1);
+
+  // "Covered" = decided (leader or any later color) or past A₀ (knows a
+  // leader).  We step manually and record first-coverage times.
+  auto covered = [&engine](graph::NodeId v) {
+    const ColoringNode& node = engine.node(v);
+    if (node.decided()) return true;
+    if (node.phase() == Phase::kRequest) return true;
+    return node.phase() == Phase::kVerify && node.verifying_color() > 0;
+  };
+  std::size_t uncovered = g.num_nodes();
+  while (engine.current_slot() < max_slots && uncovered > 0) {
+    engine.step();
+    const Slot now = engine.current_slot() - 1;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (result.cover_latency[v] >= 0) continue;
+      if (now < schedule.wake_slot(v)) continue;
+      if (covered(v)) {
+        result.cover_latency[v] = now - schedule.wake_slot(v);
+        --uncovered;
+      }
+    }
+  }
+  result.all_covered = uncovered == 0;
+  result.medium = engine.stats();
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const ColoringNode& node = engine.node(v);
+    if (node.is_leader()) result.leaders.push_back(v);
+    result.leader_of[v] = node.leader();
+  }
+  return result;
+}
+
+LocalityReport check_locality(const graph::Graph& g,
+                              const std::vector<graph::Color>& colors,
+                              std::uint32_t kappa2) {
+  URN_CHECK(colors.size() == g.num_nodes());
+  LocalityReport report;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto theta =
+        static_cast<double>(graph::local_density_theta(g, v));
+    const graph::Color phi = graph::highest_neighborhood_color(g, colors, v);
+    if (phi == graph::kUncolored) continue;
+    const double ratio = static_cast<double>(phi) / theta;
+    if (ratio > report.max_ratio) {
+      report.max_ratio = ratio;
+      report.worst = v;
+    }
+    const double derivable_bound =
+        (static_cast<double>(kappa2) + 1.0) * theta +
+        static_cast<double>(kappa2);
+    if (static_cast<double>(phi) > derivable_bound) {
+      report.holds = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace urn::core

@@ -1,0 +1,117 @@
+/// \file runner.hpp
+/// \brief One-call execution of the coloring protocol on a graph, plus the
+///        per-run verification of the paper's theorems.
+///
+/// `run_coloring` wires a `ColoringNode` per vertex into the radio engine,
+/// runs to quiescence (every node awake and decided) or a slot cap, and
+/// extracts everything the experiments need: the coloring itself, per-node
+/// decision latencies T_v (Sect. 2), cluster structure, medium statistics,
+/// and protocol event counters.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+#include "radio/engine.hpp"
+#include "radio/wakeup.hpp"
+
+namespace urn::core {
+
+/// Everything measured in a single protocol execution.
+struct RunResult {
+  /// Final colors (graph::kUncolored for undecided nodes on timeout).
+  std::vector<graph::Color> colors;
+  /// Wake slot per node (copied from the schedule).
+  std::vector<Slot> wake_slot;
+  /// Decision slot per node (−1 if the run timed out before deciding).
+  std::vector<Slot> decision_slot;
+  /// T_v = decision − wake per node (only nodes that decided).
+  std::vector<Slot> latency;
+
+  radio::RunStats medium;   ///< transmissions / deliveries / collisions
+  bool all_decided = false; ///< completeness within the slot budget
+
+  graph::ColoringCheck check;  ///< correctness + completeness validation
+  graph::Color max_color = graph::kUncolored;
+
+  std::size_t num_leaders = 0;
+  /// leader() per node (kInvalidNode for leaders themselves / undecided).
+  std::vector<graph::NodeId> leader_of;
+  /// Intra-cluster color per node (−1 for leaders / unassigned).
+  std::vector<std::int32_t> intra_cluster;
+
+  std::uint64_t total_resets = 0;
+  std::uint32_t max_verify_states = 0;  ///< max #A_i states any node entered
+  std::uint64_t duplicate_serves = 0;
+
+  /// Max T_v over decided nodes (0 if none).
+  [[nodiscard]] Slot max_latency() const;
+  /// Mean T_v over decided nodes (0 if none).
+  [[nodiscard]] double mean_latency() const;
+};
+
+/// Execute the protocol.
+///
+/// \param g          the network graph
+/// \param params     protocol parameters (validated)
+/// \param schedule   wake slot per node; size must equal g.num_nodes()
+/// \param seed       master seed; every node derives its own stream
+/// \param max_slots  hard cap (0 = a generous default derived from params)
+/// \param medium     failure-injection knobs (default: ideal medium)
+[[nodiscard]] RunResult run_coloring(const graph::Graph& g,
+                                     const Params& params,
+                                     const radio::WakeSchedule& schedule,
+                                     std::uint64_t seed, Slot max_slots = 0,
+                                     radio::MediumOptions medium = {});
+
+/// A conservative default slot budget: enough for the theory bound
+/// O(κ₂⁴ Δ log n) after the last wake-up, with headroom.
+[[nodiscard]] Slot default_slot_budget(const Params& params,
+                                       const radio::WakeSchedule& schedule);
+
+/// Theorem 4 verification.  The theorem's statement writes the bound as
+/// φ_v ≤ κ₂·θ_v; the bound its own derivation yields (via Corollary 1:
+/// color ≤ tc(κ₂+1)+κ₂ with tc ≤ θ_v) is φ_v ≤ (κ₂+1)·θ_v + κ₂, i.e. the
+/// same O(κ₂·θ_v) with explicit constants.  `holds` checks the derivable
+/// bound; `max_ratio` reports max φ_v/θ_v so experiments can show the
+/// ratio is O(κ₂) and usually far smaller.
+struct LocalityReport {
+  bool holds = true;       ///< φ_v ≤ (κ₂+1)·θ_v + κ₂ everywhere
+  double max_ratio = 0.0;  ///< max over v of φ_v / θ_v
+  graph::NodeId worst = graph::kInvalidNode;
+};
+
+[[nodiscard]] LocalityReport check_locality(
+    const graph::Graph& g, const std::vector<graph::Color>& colors,
+    std::uint32_t kappa2);
+
+/// Result of running only the first stage of the protocol: leader election
+/// plus cluster association — an MIS-and-clustering-from-scratch primitive
+/// (the paper's C₀ layer; cf. the clustering lineage of [14] and the MIS
+/// algorithm of [21] in its related work).
+struct LeaderElectionResult {
+  /// Sorted node ids that entered C₀.
+  std::vector<graph::NodeId> leaders;
+  /// leader() per node (kInvalidNode for leaders / uncovered nodes).
+  std::vector<graph::NodeId> leader_of;
+  /// Slots from each node's wake-up until it was *covered* (became a
+  /// leader or learned its leader).
+  std::vector<Slot> cover_latency;
+  bool all_covered = false;
+  radio::RunStats medium;
+};
+
+/// Run the protocol only until every node is a leader or knows one
+/// (i.e. left A₀), then stop.  The leader set is, with high probability,
+/// a maximal independent set of g.
+[[nodiscard]] LeaderElectionResult run_leader_election(
+    const graph::Graph& g, const Params& params,
+    const radio::WakeSchedule& schedule, std::uint64_t seed,
+    Slot max_slots = 0);
+
+}  // namespace urn::core

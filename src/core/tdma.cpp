@@ -1,0 +1,84 @@
+#include "core/tdma.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace urn::core {
+
+TdmaSchedule derive_tdma(const graph::Graph& g,
+                         const std::vector<graph::Color>& colors) {
+  URN_CHECK(colors.size() == g.num_nodes());
+  TdmaSchedule schedule;
+  schedule.slot.resize(g.num_nodes());
+  schedule.local_frame.resize(g.num_nodes());
+
+  graph::Color highest = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    URN_CHECK_MSG(colors[v] != graph::kUncolored,
+                  "node " << v << " is uncolored");
+    schedule.slot[v] = static_cast<std::uint32_t>(colors[v]);
+    highest = std::max(highest, colors[v]);
+  }
+  schedule.frame = static_cast<std::uint32_t>(highest) + 1;
+
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    graph::Color local_high = colors[v];
+    for (graph::NodeId w : g.two_hop_closed(v)) {
+      local_high = std::max(local_high, colors[w]);
+    }
+    schedule.local_frame[v] = static_cast<std::uint32_t>(local_high) + 1;
+  }
+  return schedule;
+}
+
+TdmaReport analyze_tdma(const graph::Graph& g, const TdmaSchedule& schedule) {
+  URN_CHECK(schedule.slot.size() == g.num_nodes());
+  TdmaReport report;
+  if (g.num_nodes() == 0) {
+    report.clean_reception_fraction = 1.0;
+    return report;
+  }
+
+  // Direct interference: any monochromatic edge.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (graph::NodeId u : g.neighbors(v)) {
+      if (schedule.slot[u] == schedule.slot[v]) {
+        report.direct_interference_free = false;
+      }
+    }
+  }
+
+  std::size_t clean_receivers = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto two_hop = g.two_hop_closed(v);
+    bool all_neighbors_clean = true;
+
+    for (graph::NodeId u : g.neighbors(v)) {
+      // Count transmitters v suffers in u's slot.
+      const std::uint32_t s = schedule.slot[u];
+      std::uint32_t neighbor_tx = 0;
+      for (graph::NodeId w : g.neighbors(v)) {
+        if (schedule.slot[w] == s) ++neighbor_tx;
+      }
+      std::uint32_t two_hop_tx = 0;
+      for (graph::NodeId w : two_hop) {
+        if (w != v && schedule.slot[w] == s) ++two_hop_tx;
+      }
+      report.max_neighbor_transmitters =
+          std::max(report.max_neighbor_transmitters, neighbor_tx);
+      report.max_two_hop_transmitters =
+          std::max(report.max_two_hop_transmitters, two_hop_tx);
+      // v receives u cleanly iff u is the only transmitter among v's
+      // neighbors in that slot (exactly the radio model's condition).
+      if (neighbor_tx != 1) all_neighbors_clean = false;
+    }
+    if (all_neighbors_clean) ++clean_receivers;
+  }
+  report.clean_reception_fraction =
+      static_cast<double>(clean_receivers) /
+      static_cast<double>(g.num_nodes());
+  return report;
+}
+
+}  // namespace urn::core

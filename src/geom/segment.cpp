@@ -1,0 +1,43 @@
+#include "geom/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace urn::geom {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+int orientation(Vec2 a, Vec2 b, Vec2 c) {
+  const double v = (b - a).cross(c - a);
+  if (v > kEps) return 1;
+  if (v < -kEps) return -1;
+  return 0;
+}
+
+bool on_segment(const Segment& s, Vec2 p) {
+  if (orientation(s.a, s.b, p) != 0) return false;
+  return p.x >= std::min(s.a.x, s.b.x) - kEps &&
+         p.x <= std::max(s.a.x, s.b.x) + kEps &&
+         p.y >= std::min(s.a.y, s.b.y) - kEps &&
+         p.y <= std::max(s.a.y, s.b.y) + kEps;
+}
+
+bool segments_intersect(const Segment& s1, const Segment& s2) {
+  const int o1 = orientation(s1.a, s1.b, s2.a);
+  const int o2 = orientation(s1.a, s1.b, s2.b);
+  const int o3 = orientation(s2.a, s2.b, s1.a);
+  const int o4 = orientation(s2.a, s2.b, s1.b);
+
+  if (o1 != o2 && o3 != o4) return true;
+
+  // Collinear touching cases.
+  if (o1 == 0 && on_segment(s1, s2.a)) return true;
+  if (o2 == 0 && on_segment(s1, s2.b)) return true;
+  if (o3 == 0 && on_segment(s2, s1.a)) return true;
+  if (o4 == 0 && on_segment(s2, s1.b)) return true;
+  return false;
+}
+
+}  // namespace urn::geom

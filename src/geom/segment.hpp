@@ -1,0 +1,30 @@
+/// \file segment.hpp
+/// \brief Line segments and segment–segment intersection.
+///
+/// Obstacles (walls) in the bounded-independence-graph generator are
+/// segments; a radio link between two nodes exists only if the straight
+/// line between them crosses no wall.
+
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace urn::geom {
+
+/// A closed line segment from `a` to `b`.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+};
+
+/// Orientation of the triple (a, b, c): >0 counter-clockwise, <0 clockwise,
+/// 0 collinear (within epsilon).
+[[nodiscard]] int orientation(Vec2 a, Vec2 b, Vec2 c);
+
+/// True if point p lies on segment s (collinear and within its box).
+[[nodiscard]] bool on_segment(const Segment& s, Vec2 p);
+
+/// True if segments s1 and s2 intersect (proper or touching).
+[[nodiscard]] bool segments_intersect(const Segment& s1, const Segment& s2);
+
+}  // namespace urn::geom

@@ -1,0 +1,68 @@
+#include "geom/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace urn::geom {
+
+SpatialGrid::SpatialGrid(const std::vector<Vec2>& points, double cell)
+    : points_(points), cell_(cell) {
+  URN_CHECK(cell > 0.0);
+  URN_CHECK(!points.empty());
+
+  Vec2 lo = points.front();
+  Vec2 hi = points.front();
+  for (const Vec2& p : points) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  origin_ = lo;
+  nx_ = static_cast<std::int64_t>((hi.x - lo.x) / cell_) + 1;
+  ny_ = static_cast<std::int64_t>((hi.y - lo.y) / cell_) + 1;
+
+  const auto num_cells =
+      static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+  std::vector<std::uint32_t> counts(num_cells, 0);
+  std::vector<std::size_t> point_cell(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const auto [cx, cy] = cell_of(points_[i]);
+    const std::size_t c = static_cast<std::size_t>(cy) *
+                              static_cast<std::size_t>(nx_) +
+                          static_cast<std::size_t>(cx);
+    point_cell[i] = c;
+    ++counts[c];
+  }
+  cell_start_.assign(num_cells + 1, 0);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    cell_start_[c + 1] = cell_start_[c] + counts[c];
+  }
+  cell_items_.resize(points_.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(),
+                                    cell_start_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    cell_items_[cursor[point_cell[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::vector<std::uint32_t> SpatialGrid::neighbors_within(
+    std::uint32_t i, double radius) const {
+  URN_CHECK(radius <= cell_ + 1e-12);
+  std::vector<std::uint32_t> out;
+  for_each_within(i, radius, [&out](std::uint32_t j) { out.push_back(j); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::pair<std::int64_t, std::int64_t> SpatialGrid::cell_of(Vec2 p) const {
+  auto cx = static_cast<std::int64_t>((p.x - origin_.x) / cell_);
+  auto cy = static_cast<std::int64_t>((p.y - origin_.y) / cell_);
+  cx = std::clamp<std::int64_t>(cx, 0, nx_ - 1);
+  cy = std::clamp<std::int64_t>(cy, 0, ny_ - 1);
+  return {cx, cy};
+}
+
+}  // namespace urn::geom

@@ -1,0 +1,65 @@
+/// \file spatial_grid.hpp
+/// \brief Uniform-grid spatial index for fixed-radius neighbor queries.
+///
+/// Unit-disk-graph construction needs all point pairs within distance r.
+/// A uniform grid with cell size r makes each query O(points in 9 cells),
+/// giving O(n + m) total UDG construction instead of O(n²).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace urn::geom {
+
+/// Immutable spatial index over a point set.
+class SpatialGrid {
+ public:
+  /// Builds an index with cell size `cell` over `points`.
+  /// \pre cell > 0, points non-empty.
+  SpatialGrid(const std::vector<Vec2>& points, double cell);
+
+  /// Indices of all points within distance `radius` of `points[i]`,
+  /// excluding `i` itself. \pre radius <= cell size used at construction.
+  [[nodiscard]] std::vector<std::uint32_t> neighbors_within(
+      std::uint32_t i, double radius) const;
+
+  /// Calls `fn(j)` for each point j != i within `radius` of point i.
+  template <typename Fn>
+  void for_each_within(std::uint32_t i, double radius, Fn&& fn) const {
+    const Vec2 p = points_[i];
+    const double r2 = radius * radius;
+    const auto [cx, cy] = cell_of(p);
+    for (std::int64_t gy = cy - 1; gy <= cy + 1; ++gy) {
+      if (gy < 0 || gy >= ny_) continue;
+      for (std::int64_t gx = cx - 1; gx <= cx + 1; ++gx) {
+        if (gx < 0 || gx >= nx_) continue;
+        const std::size_t c = static_cast<std::size_t>(gy) *
+                                  static_cast<std::size_t>(nx_) +
+                              static_cast<std::size_t>(gx);
+        for (std::uint32_t idx = cell_start_[c]; idx < cell_start_[c + 1];
+             ++idx) {
+          const std::uint32_t j = cell_items_[idx];
+          if (j != i && dist2(points_[j], p) <= r2) fn(j);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+ private:
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> cell_of(Vec2 p) const;
+
+  std::vector<Vec2> points_;
+  double cell_;
+  Vec2 origin_;
+  std::int64_t nx_ = 0;
+  std::int64_t ny_ = 0;
+  std::vector<std::uint32_t> cell_start_;  // CSR offsets into cell_items_
+  std::vector<std::uint32_t> cell_items_;
+};
+
+}  // namespace urn::geom

@@ -1,0 +1,53 @@
+/// \file vec2.hpp
+/// \brief 2-D vector/point primitives for node placement and obstacles.
+
+#pragma once
+
+#include <cmath>
+
+namespace urn::geom {
+
+/// A 2-D point / vector with double coordinates.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; sign gives orientation.
+  [[nodiscard]] constexpr double cross(Vec2 o) const {
+    return x * o.y - y * o.x;
+  }
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+};
+
+/// Squared Euclidean distance (preferred on hot paths: no sqrt).
+[[nodiscard]] constexpr double dist2(Vec2 a, Vec2 b) {
+  return (a - b).norm2();
+}
+
+/// Euclidean distance.
+[[nodiscard]] inline double dist(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Axis-aligned bounding box.
+struct Aabb {
+  Vec2 lo;
+  Vec2 hi;
+
+  [[nodiscard]] constexpr bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  [[nodiscard]] constexpr double width() const { return hi.x - lo.x; }
+  [[nodiscard]] constexpr double height() const { return hi.y - lo.y; }
+};
+
+}  // namespace urn::geom

@@ -1,0 +1,109 @@
+/// \file generators.hpp
+/// \brief Network topology generators for all graph families in the paper.
+///
+/// * Unit disk graphs (Sect. 2, Cor. 2): random, perturbed-grid, and
+///   clustered deployments — edge iff Euclidean distance ≤ radius.
+/// * Obstacle BIGs (Fig. 1 discussion): UDG links are cut when the line of
+///   sight crosses a wall segment; the result is no longer a UDG but stays
+///   a bounded independence graph.
+/// * Unit ball graphs (Cor. 3): points in a d-dimensional cube, edge iff
+///   Euclidean distance ≤ 1; doubling dimension grows with d.
+/// * Combinatorial families (path/cycle/star/complete/G(n,p)) for tests
+///   and worst-case probes.
+///
+/// All generators are deterministic in the provided RNG.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geom/segment.hpp"
+#include "geom/vec2.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace urn::graph {
+
+/// A graph together with the node positions that produced it.
+struct GeometricGraph {
+  Graph graph;
+  std::vector<geom::Vec2> positions;
+};
+
+/// A geometric graph with the obstacle segments that shaped it.
+struct ObstacleGraph {
+  Graph graph;
+  std::vector<geom::Vec2> positions;
+  std::vector<geom::Segment> walls;
+};
+
+/// A unit ball graph over points in a d-dimensional cube (d ≤ 4).
+struct BallGraph {
+  Graph graph;
+  std::size_t dim = 2;
+  std::vector<std::array<double, 4>> points;
+};
+
+/// Random UDG: n points uniform in [0, side]², edge iff dist ≤ radius.
+[[nodiscard]] GeometricGraph random_udg(std::size_t n, double side,
+                                        double radius, Rng& rng);
+
+/// Perturbed grid UDG: nx×ny lattice with given spacing, each point
+/// jittered uniformly in a square of half-width `jitter`.
+[[nodiscard]] GeometricGraph grid_udg(std::size_t nx, std::size_t ny,
+                                      double spacing, double radius,
+                                      double jitter, Rng& rng);
+
+/// Clustered UDG: `clusters` Gaussian blobs of `per_cluster` points with
+/// standard deviation `sigma`, centers uniform in [0, side]².  Produces
+/// strong density contrast — the workload for the locality experiment E5.
+[[nodiscard]] GeometricGraph clustered_udg(std::size_t clusters,
+                                           std::size_t per_cluster,
+                                           double side, double sigma,
+                                           double radius, Rng& rng);
+
+/// Obstacle BIG from explicit points and walls: UDG edge (dist ≤ radius)
+/// kept only if the segment between the endpoints crosses no wall.
+[[nodiscard]] ObstacleGraph obstacle_big(std::vector<geom::Vec2> points,
+                                         std::vector<geom::Segment> walls,
+                                         double radius);
+
+/// Obstacle BIG with n uniform points and the given walls.
+[[nodiscard]] ObstacleGraph random_obstacle_big(
+    std::size_t n, double side, double radius,
+    std::vector<geom::Segment> walls, Rng& rng);
+
+/// `count` random wall segments with lengths in [min_len, max_len] inside
+/// [0, side]².
+[[nodiscard]] std::vector<geom::Segment> random_walls(std::size_t count,
+                                                      double side,
+                                                      double min_len,
+                                                      double max_len,
+                                                      Rng& rng);
+
+/// Random unit ball graph: n points uniform in [0, side]^dim (dim ≤ 4),
+/// edge iff Euclidean distance ≤ 1.  O(n²) construction.
+[[nodiscard]] BallGraph random_unit_ball(std::size_t n, std::size_t dim,
+                                         double side, Rng& rng);
+
+/// Path 0–1–…–(n−1).
+[[nodiscard]] Graph path_graph(std::size_t n);
+
+/// Cycle on n ≥ 3 nodes.
+[[nodiscard]] Graph cycle_graph(std::size_t n);
+
+/// Star: node 0 adjacent to all others.
+[[nodiscard]] Graph star_graph(std::size_t n);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete_graph(std::size_t n);
+
+/// Graph with n nodes and no edges.
+[[nodiscard]] Graph empty_graph(std::size_t n);
+
+/// Erdős–Rényi G(n, p).
+[[nodiscard]] Graph gnp(std::size_t n, double p, Rng& rng);
+
+}  // namespace urn::graph

@@ -1,0 +1,75 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace urn::graph {
+
+std::uint32_t Graph::max_closed_degree() const {
+  return max_degree() + (num_nodes() > 0 ? 1u : 0u);
+}
+
+std::uint32_t Graph::max_degree() const {
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+double Graph::average_degree() const {
+  if (num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(num_nodes());
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  URN_DCHECK(u < num_nodes() && v < num_nodes());
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<NodeId> Graph::two_hop_closed(NodeId v) const {
+  URN_DCHECK(v < num_nodes());
+  std::vector<NodeId> out;
+  out.push_back(v);
+  for (NodeId u : neighbors(v)) out.push_back(u);
+  const std::size_t one_hop_end = out.size();
+  for (std::size_t i = 1; i < one_hop_end; ++i) {
+    for (NodeId w : neighbors(out[i])) out.push_back(w);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  URN_CHECK_MSG(u < num_nodes_ && v < num_nodes_,
+                "edge endpoint out of range: " << u << "," << v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() const {
+  Graph g;
+  g.offsets_.assign(num_nodes_ + 1, 0);
+
+  // Symmetrize, drop self-loops.
+  std::vector<std::pair<NodeId, NodeId>> directed;
+  directed.reserve(edges_.size() * 2);
+  for (auto [u, v] : edges_) {
+    if (u == v) continue;
+    directed.emplace_back(u, v);
+    directed.emplace_back(v, u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+
+  for (auto [u, v] : directed) ++g.offsets_[u + 1];
+  for (std::size_t i = 1; i <= num_nodes_; ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(directed.size());
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (auto [u, v] : directed) g.adjacency_[cursor[u]++] = v;
+  return g;
+}
+
+}  // namespace urn::graph

@@ -1,0 +1,313 @@
+#include "graph/independence.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace urn::graph {
+
+bool is_independent_set(const Graph& g, std::span<const NodeId> nodes) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (nodes[i] == nodes[j] || g.has_edge(nodes[i], nodes[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& g,
+                                std::span<const NodeId> nodes) {
+  if (!is_independent_set(g, nodes)) return false;
+  std::vector<bool> in_set(g.num_nodes(), false);
+  std::vector<bool> dominated(g.num_nodes(), false);
+  for (NodeId v : nodes) {
+    in_set[v] = true;
+    dominated[v] = true;
+    for (NodeId u : g.neighbors(v)) dominated[u] = true;
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!dominated[v]) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> greedy_mis(const Graph& g,
+                               std::span<const NodeId> order) {
+  std::vector<bool> blocked(g.num_nodes(), false);
+  std::vector<NodeId> mis;
+  for (NodeId v : order) {
+    URN_CHECK(v < g.num_nodes());
+    if (blocked[v]) continue;
+    mis.push_back(v);
+    blocked[v] = true;
+    for (NodeId u : g.neighbors(v)) blocked[u] = true;
+  }
+  return mis;
+}
+
+std::vector<NodeId> greedy_mis_random(const Graph& g, Rng& rng) {
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);
+  return greedy_mis(g, order);
+}
+
+namespace {
+
+/// Dynamic bitset of `words` 64-bit words, flat storage.
+class BitMatrixRow {
+ public:
+  BitMatrixRow(std::uint64_t* data, std::size_t words)
+      : data_(data), words_(words) {}
+
+  void set(std::size_t i) { data_[i >> 6] |= 1ULL << (i & 63); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (data_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  [[nodiscard]] const std::uint64_t* data() const { return data_; }
+  [[nodiscard]] std::size_t words() const { return words_; }
+
+ private:
+  std::uint64_t* data_;
+  std::size_t words_;
+};
+
+struct MisInstance {
+  std::size_t k = 0;      // number of vertices
+  std::size_t words = 0;  // bitset words
+  std::vector<std::uint64_t> adj;  // k rows of `words` words each
+
+  [[nodiscard]] const std::uint64_t* row(std::size_t v) const {
+    return adj.data() + v * words;
+  }
+};
+
+std::uint32_t popcount_words(const std::uint64_t* w, std::size_t n) {
+  std::uint32_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    c += static_cast<std::uint32_t>(__builtin_popcountll(w[i]));
+  }
+  return c;
+}
+
+/// Branch-and-bound maximum independent set over a candidate bitset.
+class MisSolver {
+ public:
+  explicit MisSolver(const MisInstance& inst) : inst_(inst) {}
+
+  std::uint32_t solve() {
+    std::vector<std::uint64_t> all(inst_.words, 0);
+    for (std::size_t v = 0; v < inst_.k; ++v) {
+      all[v >> 6] |= 1ULL << (v & 63);
+    }
+    best_ = greedy_bound(all);
+    recurse(all, 0);
+    return best_;
+  }
+
+ private:
+  /// Greedy min-degree MIS on the candidate set; a quick lower bound that
+  /// lets the branch-and-bound prune early.
+  std::uint32_t greedy_bound(std::vector<std::uint64_t> cand) const {
+    std::uint32_t size = 0;
+    while (true) {
+      std::size_t pick = inst_.k;
+      std::uint32_t pick_deg = 0;
+      for (std::size_t v = 0; v < inst_.k; ++v) {
+        if (!((cand[v >> 6] >> (v & 63)) & 1ULL)) continue;
+        std::uint32_t deg = 0;
+        const std::uint64_t* row = inst_.row(v);
+        for (std::size_t w = 0; w < inst_.words; ++w) {
+          deg += static_cast<std::uint32_t>(
+              __builtin_popcountll(row[w] & cand[w]));
+        }
+        if (pick == inst_.k || deg < pick_deg) {
+          pick = v;
+          pick_deg = deg;
+        }
+      }
+      if (pick == inst_.k) break;
+      ++size;
+      const std::uint64_t* row = inst_.row(pick);
+      for (std::size_t w = 0; w < inst_.words; ++w) cand[w] &= ~row[w];
+      cand[pick >> 6] &= ~(1ULL << (pick & 63));
+    }
+    return size;
+  }
+
+  void recurse(std::vector<std::uint64_t>& cand, std::uint32_t current) {
+    const std::uint32_t remaining = popcount_words(cand.data(), inst_.words);
+    if (current + remaining <= best_) return;
+    if (remaining == 0) {
+      best_ = std::max(best_, current);
+      return;
+    }
+
+    // Pick the candidate with the highest degree inside the candidate set;
+    // isolated candidates are all taken at once.
+    std::size_t pick = inst_.k;
+    std::uint32_t pick_deg = 0;
+    std::uint32_t isolated = 0;
+    for (std::size_t v = 0; v < inst_.k; ++v) {
+      if (!((cand[v >> 6] >> (v & 63)) & 1ULL)) continue;
+      std::uint32_t deg = 0;
+      const std::uint64_t* row = inst_.row(v);
+      for (std::size_t w = 0; w < inst_.words; ++w) {
+        deg += static_cast<std::uint32_t>(
+            __builtin_popcountll(row[w] & cand[w]));
+      }
+      if (deg == 0) {
+        ++isolated;
+      } else if (pick == inst_.k || deg > pick_deg) {
+        pick = v;
+        pick_deg = deg;
+      }
+    }
+    if (pick == inst_.k) {
+      // All remaining candidates are mutually non-adjacent.
+      best_ = std::max(best_, current + isolated);
+      return;
+    }
+
+    // Branch 1: include `pick` — remove it and its neighbors.
+    std::vector<std::uint64_t> with = cand;
+    const std::uint64_t* row = inst_.row(pick);
+    for (std::size_t w = 0; w < inst_.words; ++w) with[w] &= ~row[w];
+    with[pick >> 6] &= ~(1ULL << (pick & 63));
+    recurse(with, current + 1);
+
+    // Branch 2: exclude `pick`.
+    std::vector<std::uint64_t> without = cand;
+    without[pick >> 6] &= ~(1ULL << (pick & 63));
+    recurse(without, current);
+  }
+
+  const MisInstance& inst_;
+  std::uint32_t best_ = 0;
+};
+
+MisInstance induce(const Graph& g, std::span<const NodeId> nodes) {
+  MisInstance inst;
+  inst.k = nodes.size();
+  inst.words = (inst.k + 63) / 64;
+  inst.adj.assign(inst.k * inst.words, 0);
+  std::unordered_map<NodeId, std::size_t> index;
+  index.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) index[nodes[i]] = i;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (NodeId u : g.neighbors(nodes[i])) {
+      const auto it = index.find(u);
+      if (it == index.end()) continue;
+      const std::size_t j = it->second;
+      inst.adj[i * inst.words + (j >> 6)] |= 1ULL << (j & 63);
+      inst.adj[j * inst.words + (i >> 6)] |= 1ULL << (i & 63);
+    }
+  }
+  return inst;
+}
+
+/// Greedy (min-degree) MIS size of an induced subgraph — lower bound used
+/// when the neighborhood is too large for exact search.
+std::uint32_t greedy_induced_mis(const Graph& g,
+                                 std::span<const NodeId> nodes) {
+  const MisInstance inst = induce(g, nodes);
+  return MisSolver(inst).solve();  // unreachable for big inputs; see caller
+}
+
+std::uint32_t neighborhood_mis(const Graph& g, std::span<const NodeId> nodes,
+                               std::size_t exact_limit, bool& exact) {
+  if (nodes.size() <= exact_limit) {
+    const MisInstance inst = induce(g, nodes);
+    return MisSolver(inst).solve();
+  }
+  exact = false;
+  // Greedy lower bound on the oversized neighborhood: min-degree first-fit
+  // over the induced subgraph, computed with hash-set adjacency.
+  std::unordered_map<NodeId, std::uint32_t> deg_in;
+  deg_in.reserve(nodes.size());
+  for (NodeId v : nodes) deg_in[v] = 0;
+  for (NodeId v : nodes) {
+    for (NodeId u : g.neighbors(v)) {
+      if (deg_in.count(u)) ++deg_in[v];
+    }
+  }
+  std::vector<NodeId> order(nodes.begin(), nodes.end());
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return deg_in[a] < deg_in[b] || (deg_in[a] == deg_in[b] && a < b);
+  });
+  std::unordered_map<NodeId, bool> blocked;
+  for (NodeId v : nodes) blocked[v] = false;
+  std::uint32_t size = 0;
+  for (NodeId v : order) {
+    if (blocked[v]) continue;
+    ++size;
+    blocked[v] = true;
+    for (NodeId u : g.neighbors(v)) {
+      const auto it = blocked.find(u);
+      if (it != blocked.end()) it->second = true;
+    }
+  }
+  return size;
+}
+
+std::vector<NodeId> nodes_to_evaluate(const Graph& g,
+                                      const KappaOptions& opts) {
+  std::vector<NodeId> eval;
+  if (opts.sample == 0 || opts.sample >= g.num_nodes()) {
+    eval.resize(g.num_nodes());
+    std::iota(eval.begin(), eval.end(), 0u);
+    return eval;
+  }
+  Rng rng(opts.seed);
+  std::vector<NodeId> all(g.num_nodes());
+  std::iota(all.begin(), all.end(), 0u);
+  rng.shuffle(all);
+  eval.assign(all.begin(),
+              all.begin() + static_cast<std::ptrdiff_t>(opts.sample));
+  // Always include the max-degree node: the κ maximum is usually there.
+  NodeId densest = 0;
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > g.degree(densest)) densest = v;
+  }
+  eval.push_back(densest);
+  return eval;
+}
+
+}  // namespace
+
+std::uint32_t max_independent_set_size(const Graph& g,
+                                       std::span<const NodeId> nodes) {
+  URN_CHECK(nodes.size() <= 4096);
+  if (nodes.empty()) return 0;
+  return greedy_induced_mis(g, nodes);
+}
+
+KappaResult kappa1(const Graph& g, const KappaOptions& opts) {
+  KappaResult result;
+  for (NodeId v : nodes_to_evaluate(g, opts)) {
+    std::vector<NodeId> hood;
+    hood.push_back(v);
+    for (NodeId u : g.neighbors(v)) hood.push_back(u);
+    result.value = std::max(
+        result.value,
+        neighborhood_mis(g, hood, opts.exact_limit, result.exact));
+  }
+  if (opts.sample != 0 && opts.sample < g.num_nodes()) result.exact = false;
+  return result;
+}
+
+KappaResult kappa2(const Graph& g, const KappaOptions& opts) {
+  KappaResult result;
+  for (NodeId v : nodes_to_evaluate(g, opts)) {
+    const std::vector<NodeId> hood = g.two_hop_closed(v);
+    result.value = std::max(
+        result.value,
+        neighborhood_mis(g, hood, opts.exact_limit, result.exact));
+  }
+  if (opts.sample != 0 && opts.sample < g.num_nodes()) result.exact = false;
+  return result;
+}
+
+}  // namespace urn::graph

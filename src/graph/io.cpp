@@ -1,0 +1,107 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace urn::graph {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "# urn edge list\n";
+  os << "nodes " << g.num_nodes() << '\n';
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (u > v) os << v << ' ' << u << '\n';
+    }
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  std::size_t n = 0;
+  bool have_nodes = false;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;
+    if (first == "nodes") {
+      URN_CHECK_MSG(!have_nodes, "duplicate 'nodes' line at " << line_no);
+      URN_CHECK_MSG(static_cast<bool>(ls >> n),
+                    "bad 'nodes' line at " << line_no);
+      have_nodes = true;
+      continue;
+    }
+    URN_CHECK_MSG(have_nodes, "edge before 'nodes' header at " << line_no);
+    std::uint64_t u = 0, v = 0;
+    std::istringstream es(first);
+    URN_CHECK_MSG(static_cast<bool>(es >> u) && static_cast<bool>(ls >> v),
+                  "malformed edge at line " << line_no);
+    URN_CHECK_MSG(u < n && v < n, "edge endpoint out of range at line "
+                                      << line_no);
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  URN_CHECK_MSG(have_nodes, "missing 'nodes' header");
+  GraphBuilder builder(n);
+  for (auto [u, v] : edges) builder.add_edge(u, v);
+  return builder.build();
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  URN_CHECK_MSG(out.good(), "cannot open " << path);
+  write_edge_list(out, g);
+  URN_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  URN_CHECK_MSG(in.good(), "cannot open " << path);
+  return read_edge_list(in);
+}
+
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& opts) {
+  static const char* kPalette[] = {
+      "#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3", "#a6d854",
+      "#ffd92f", "#e5c494", "#b3b3b3", "#1b9e77", "#d95f02",
+  };
+  constexpr std::size_t kPaletteSize = 10;
+  if (opts.colors) URN_CHECK(opts.colors->size() == g.num_nodes());
+  if (opts.positions) URN_CHECK(opts.positions->size() == g.num_nodes());
+
+  os << "graph " << opts.graph_name << " {\n";
+  os << "  node [shape=circle, style=filled];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v << " [";
+    if (opts.colors) {
+      const Color c = (*opts.colors)[v];
+      os << "label=\"" << v << ':' << c << "\"";
+      if (c != kUncolored) {
+        os << ", fillcolor=\""
+           << kPalette[static_cast<std::size_t>(c) % kPaletteSize] << "\"";
+      }
+    } else {
+      os << "label=\"" << v << "\"";
+    }
+    if (opts.positions) {
+      const geom::Vec2 p = (*opts.positions)[v];
+      os << ", pos=\"" << p.x << ',' << p.y << "!\"";
+    }
+    os << "];\n";
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (u > v) os << "  n" << v << " -- n" << u << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace urn::graph

@@ -1,0 +1,49 @@
+/// \file io.hpp
+/// \brief Graph (de)serialization: a simple edge-list text format and
+///        Graphviz DOT export (with optional coloring / positions).
+///
+/// Edge-list format:
+///
+///     # comment lines start with '#'
+///     nodes <n>
+///     <u> <v>          # one undirected edge per line, 0-based ids
+///
+/// The format round-trips exactly (builder semantics: duplicates and
+/// self-loops are dropped on load).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+
+namespace urn::graph {
+
+/// Write g in edge-list format.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parse an edge-list stream. Throws urn::CheckError on malformed input.
+[[nodiscard]] Graph read_edge_list(std::istream& is);
+
+/// Convenience file wrappers. Throw urn::CheckError on I/O failure.
+void save_edge_list(const std::string& path, const Graph& g);
+[[nodiscard]] Graph load_edge_list(const std::string& path);
+
+/// Options for DOT export.
+struct DotOptions {
+  /// Optional coloring: nodes are labeled "id:color" and given a fill
+  /// color cycling through a small palette.
+  const std::vector<Color>* colors = nullptr;
+  /// Optional positions: emitted as pin-positions (neato-compatible).
+  const std::vector<geom::Vec2>* positions = nullptr;
+  std::string graph_name = "urn";
+};
+
+/// Write g as an undirected Graphviz graph.
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& opts = {});
+
+}  // namespace urn::graph

@@ -1,0 +1,35 @@
+/// \file traversal.hpp
+/// \brief BFS-based graph queries: distances, components, eccentricity.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace urn::graph {
+
+/// Sentinel distance for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// Hop distances from `source` to all nodes (kUnreachable if disconnected).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       NodeId source);
+
+/// Component id per node (0-based, contiguous).
+struct Components {
+  std::vector<std::uint32_t> id;  ///< component id per node
+  std::uint32_t count = 0;        ///< number of components
+};
+
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// True if the graph has exactly one connected component (or is empty).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Largest BFS eccentricity over all nodes; kUnreachable for disconnected
+/// graphs. O(n·(n+m)) — intended for test/bench graphs.
+[[nodiscard]] std::uint32_t diameter(const Graph& g);
+
+}  // namespace urn::graph

@@ -1,0 +1,288 @@
+/// \file engine.hpp
+/// \brief The slotted radio-medium simulator (the unstructured radio
+///        network model of Sect. 2).
+///
+/// Collision semantics, implemented exactly as specified:
+///  * time is divided into discrete synchronized slots;
+///  * in each slot a node either transmits or listens, never both;
+///  * a node receives a message iff **exactly one** of its (open-)
+///    neighborhood members transmits in that slot and the node itself is
+///    listening — two or more transmitting neighbors collide silently,
+///    and **no collision detection** exists: the receiver cannot tell a
+///    collision from silence, and the sender learns nothing;
+///  * sleeping nodes (before their wake slot) neither send nor receive.
+///
+/// The engine is a class template over the node-protocol type so that the
+/// per-slot loop is fully inlined (the simulator sustains tens of millions
+/// of node-slots per second on one core).  Protocols implement:
+///
+///     void on_wake(SlotContext&);
+///     std::optional<Message> on_slot(SlotContext&);   // state step + tx decision
+///     void on_receive(SlotContext&, const Message&);  // end-of-slot delivery
+///     bool decided() const;                           // irrevocable color fixed
+///
+/// Within a slot the engine (1) wakes due nodes, (2) calls `on_slot` on all
+/// awake nodes collecting transmissions, (3) resolves the medium, and
+/// (4) delivers at most one message per listening node via `on_receive`.
+/// State changes made in `on_receive` therefore take effect in the next
+/// slot, matching the paper's slot granularity.
+
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "radio/message.hpp"
+#include "radio/wakeup.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace urn::radio {
+
+/// Per-node, per-slot view handed to protocol callbacks.
+struct SlotContext {
+  NodeId id = graph::kInvalidNode;
+  Slot now = 0;        ///< global slot index
+  Slot awake_for = 0;  ///< slots since this node's wake-up (0 in the wake slot)
+  Rng* rng = nullptr;  ///< per-node deterministic stream
+
+  [[nodiscard]] Rng& random() const { return *rng; }
+};
+
+/// Node-protocol concept; see file comment for callback semantics.
+template <typename P>
+concept NodeProtocol = requires(P p, const P cp, SlotContext& ctx,
+                                const Message& msg) {
+  { p.on_wake(ctx) };
+  { p.on_slot(ctx) } -> std::same_as<std::optional<Message>>;
+  { p.on_receive(ctx, msg) };
+  { cp.decided() } -> std::convertible_to<bool>;
+};
+
+/// Aggregate medium statistics for one run.
+struct RunStats {
+  Slot slots_run = 0;
+  std::uint64_t transmissions = 0;
+  /// Listening-node slot pairs where exactly one neighbor transmitted.
+  std::uint64_t deliveries = 0;
+  /// Listening-node slot pairs where two or more neighbors transmitted.
+  std::uint64_t collisions = 0;
+  /// Otherwise-clean receptions lost to injected fading (MediumOptions).
+  std::uint64_t dropped = 0;
+  bool all_decided = false;
+};
+
+/// Failure-injection knobs for the medium (all off by default; with the
+/// defaults the engine is bit-identical to the ideal collision-only
+/// medium, which the differential tests rely on).
+struct MediumOptions {
+  /// Probability that an otherwise-successful reception is lost anyway —
+  /// a crude model of fading/shadowing, which the BIG model explicitly
+  /// wants to accommodate (Sect. 2).
+  double drop_probability = 0.0;
+};
+
+/// The slotted-medium engine; owns the per-node protocol instances.
+/// Holds the graph **by reference** (hot-loop performance): the graph must
+/// outlive the engine.
+template <NodeProtocol P>
+class Engine {
+ public:
+  /// \pre nodes.size() == g.num_nodes() == schedule.size()
+  Engine(const graph::Graph& g, WakeSchedule schedule, std::vector<P> nodes,
+         std::uint64_t seed, MediumOptions medium = {})
+      : graph_(g),
+        schedule_(std::move(schedule)),
+        nodes_(std::move(nodes)),
+        medium_(medium),
+        medium_rng_(mix_seed(seed, 0xFADEDull)),
+        awake_(g.num_nodes(), false),
+        dead_(g.num_nodes(), false),
+        decision_slot_(g.num_nodes(), kUndecided),
+        tx_count_(g.num_nodes(), 0),
+        tx_stamp_(g.num_nodes(), -1) {
+    URN_CHECK(medium_.drop_probability >= 0.0 &&
+              medium_.drop_probability < 1.0);
+    URN_CHECK(nodes_.size() == graph_.num_nodes());
+    URN_CHECK(schedule_.size() == graph_.num_nodes());
+    rngs_.reserve(graph_.num_nodes());
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      rngs_.emplace_back(mix_seed(seed, v));
+    }
+    // Wake order: nodes sorted by wake slot for an O(1) amortized wake scan.
+    wake_order_.resize(graph_.num_nodes());
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) wake_order_[v] = v;
+    std::sort(wake_order_.begin(), wake_order_.end(),
+              [this](NodeId a, NodeId b) {
+                return schedule_.wake_slot(a) < schedule_.wake_slot(b);
+              });
+  }
+
+  /// Advance the simulation one slot.
+  void step() {
+    const Slot now = slot_;
+
+    // (1) Wake due nodes.
+    while (next_wake_ < wake_order_.size() &&
+           schedule_.wake_slot(wake_order_[next_wake_]) <= now) {
+      const NodeId v = wake_order_[next_wake_++];
+      awake_[v] = true;
+      awake_list_.push_back(v);
+      SlotContext ctx = context(v, now);
+      nodes_[v].on_wake(ctx);
+    }
+
+    // (2) Collect transmissions.
+    transmitters_.clear();
+    for (NodeId v : awake_list_) {
+      if (dead_[v]) continue;
+      SlotContext ctx = context(v, now);
+      if (std::optional<Message> msg = nodes_[v].on_slot(ctx)) {
+        URN_DCHECK(msg->sender == v);
+        transmitters_.push_back(*msg);
+      }
+    }
+    stats_.transmissions += transmitters_.size();
+
+    // (3) Resolve the medium: count transmitting neighbors per node.
+    for (const Message& msg : transmitters_) {
+      const NodeId sender = msg.sender;
+      for (NodeId u : graph_.neighbors(sender)) {
+        if (tx_stamp_[u] != now) {
+          tx_stamp_[u] = now;
+          tx_count_[u] = 0;
+        }
+        ++tx_count_[u];
+      }
+      // A transmitting node cannot receive in the same slot.
+      if (tx_stamp_[sender] != now) {
+        tx_stamp_[sender] = now;
+        tx_count_[sender] = 0;
+      }
+      tx_count_[sender] = kSelfBusy;
+    }
+
+    // (4) Deliver to listening awake nodes with exactly one active neighbor.
+    for (const Message& msg : transmitters_) {
+      for (NodeId u : graph_.neighbors(msg.sender)) {
+        if (!awake_[u] || dead_[u] || tx_stamp_[u] != now) continue;
+        if (tx_count_[u] == 1) {
+          if (medium_.drop_probability > 0.0 &&
+              medium_rng_.chance(medium_.drop_probability)) {
+            ++stats_.dropped;  // fading: clean reception lost anyway
+          } else {
+            ++stats_.deliveries;
+            SlotContext ctx = context(u, now);
+            nodes_[u].on_receive(ctx, msg);
+          }
+          tx_count_[u] = kDelivered;  // at most one delivery per slot
+        } else if (tx_count_[u] >= 2 && tx_count_[u] < kDelivered) {
+          ++stats_.collisions;
+          tx_count_[u] = kDelivered;  // count the collision once
+        }
+      }
+    }
+
+    // (5) Track decisions.
+    for (NodeId v : awake_list_) {
+      if (!dead_[v] && decision_slot_[v] == kUndecided &&
+          nodes_[v].decided()) {
+        decision_slot_[v] = now;
+      }
+    }
+
+    ++slot_;
+    stats_.slots_run = slot_;
+  }
+
+  /// Run until every node is awake and has decided, or `max_slots` elapse.
+  /// Returns the statistics so far; `all_decided` reports success.
+  RunStats run(Slot max_slots) {
+    URN_CHECK(max_slots > 0);
+    while (slot_ < max_slots) {
+      step();
+      if (all_decided()) break;
+    }
+    stats_.all_decided = all_decided();
+    return stats_;
+  }
+
+  [[nodiscard]] bool all_decided() const {
+    if (next_wake_ < wake_order_.size()) return false;
+    for (NodeId v = 0; v < nodes_.size(); ++v) {
+      if (!dead_[v] && decision_slot_[v] == kUndecided) return false;
+    }
+    return true;
+  }
+
+  /// Crash-stop failure injection: from the next slot on, node v neither
+  /// transmits nor receives.  It is excluded from `all_decided` (a dead
+  /// node has no obligation to decide).
+  void deactivate(NodeId v) {
+    URN_CHECK(v < nodes_.size());
+    dead_[v] = true;
+  }
+
+  [[nodiscard]] bool is_dead(NodeId v) const { return dead_.at(v); }
+
+  [[nodiscard]] Slot current_slot() const { return slot_; }
+  [[nodiscard]] const RunStats& stats() const { return stats_; }
+  [[nodiscard]] const P& node(NodeId v) const { return nodes_.at(v); }
+  [[nodiscard]] P& node(NodeId v) { return nodes_.at(v); }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] const WakeSchedule& schedule() const { return schedule_; }
+
+  /// Slot in which v's `decided()` first became true (kUndecided if never).
+  [[nodiscard]] Slot decision_slot(NodeId v) const {
+    return decision_slot_.at(v);
+  }
+
+  /// T_v of Sect. 2: slots between wake-up and irrevocable decision.
+  [[nodiscard]] Slot decision_latency(NodeId v) const {
+    URN_CHECK(decision_slot_.at(v) != kUndecided);
+    return decision_slot_[v] - schedule_.wake_slot(v);
+  }
+
+  static constexpr Slot kUndecided = -1;
+
+ private:
+  static constexpr std::uint32_t kSelfBusy = 0x40000000;
+  static constexpr std::uint32_t kDelivered = 0x20000000;
+
+  [[nodiscard]] SlotContext context(NodeId v, Slot now) {
+    SlotContext ctx;
+    ctx.id = v;
+    ctx.now = now;
+    ctx.awake_for = now - schedule_.wake_slot(v);
+    ctx.rng = &rngs_[v];
+    return ctx;
+  }
+
+  const graph::Graph& graph_;
+  WakeSchedule schedule_;
+  std::vector<P> nodes_;
+  MediumOptions medium_;
+  Rng medium_rng_;
+  std::vector<Rng> rngs_;
+
+  Slot slot_ = 0;
+  std::vector<bool> awake_;
+  std::vector<bool> dead_;
+  std::vector<NodeId> awake_list_;
+  std::vector<NodeId> wake_order_;
+  std::size_t next_wake_ = 0;
+  std::vector<Slot> decision_slot_;
+
+  // Per-slot scratch (epoch-stamped; never cleared wholesale).
+  std::vector<std::uint32_t> tx_count_;
+  std::vector<Slot> tx_stamp_;
+  std::vector<Message> transmitters_;
+
+  RunStats stats_;
+};
+
+}  // namespace urn::radio

@@ -1,0 +1,88 @@
+/// \file message.hpp
+/// \brief The four message types of the coloring protocol (Sect. 4).
+///
+/// | paper              | here                | fields                      |
+/// |--------------------|---------------------|-----------------------------|
+/// | M_A^i(v, c_v)      | MsgType::kCompete   | sender, color_index=i, counter=c_v |
+/// | M_C^i(v)           | MsgType::kDecided   | sender, color_index=i       |
+/// | M_C^0(v, w, tc)    | MsgType::kAssign    | sender, target=w, tc        |
+/// | M_R(v, L(v))       | MsgType::kRequest   | sender, target=L(v)         |
+///
+/// Every field is O(log n) bits, matching the model's message-size bound.
+/// A `kAssign` message *also* identifies its sender as a leader, exactly as
+/// an `M_C^0` beacon does; receivers treat both as evidence of a node in C₀.
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace urn::radio {
+
+using graph::NodeId;
+
+/// Discrete time-slot index.
+using Slot = std::int64_t;
+
+enum class MsgType : std::uint8_t {
+  kCompete,  ///< M_A^i(v, c_v): competitor counter report
+  kDecided,  ///< M_C^i(v): "I hold color i" announcement / leader beacon
+  kAssign,   ///< M_C^0(v, w, tc): leader v assigns intra-cluster color tc to w
+  kRequest,  ///< M_R(v, L(v)): v requests an intra-cluster color from L(v)
+};
+
+/// One on-air message.  POD; copied by value.
+struct Message {
+  MsgType type = MsgType::kCompete;
+  NodeId sender = graph::kInvalidNode;
+  /// Color index i for kCompete / kDecided (0 for leader traffic).
+  std::int32_t color_index = 0;
+  /// Counter c_v for kCompete; unused otherwise.
+  std::int64_t counter = 0;
+  /// Assignment target w (kAssign) or addressed leader L(v) (kRequest).
+  NodeId target = graph::kInvalidNode;
+  /// Intra-cluster color for kAssign.
+  std::int32_t tc = 0;
+};
+
+/// Convenience factories keeping call sites close to the paper's notation.
+
+[[nodiscard]] inline Message make_compete(NodeId v, std::int32_t i,
+                                          std::int64_t c_v) {
+  Message m;
+  m.type = MsgType::kCompete;
+  m.sender = v;
+  m.color_index = i;
+  m.counter = c_v;
+  return m;
+}
+
+[[nodiscard]] inline Message make_decided(NodeId v, std::int32_t i) {
+  Message m;
+  m.type = MsgType::kDecided;
+  m.sender = v;
+  m.color_index = i;
+  return m;
+}
+
+[[nodiscard]] inline Message make_assign(NodeId leader, NodeId w,
+                                         std::int32_t tc) {
+  Message m;
+  m.type = MsgType::kAssign;
+  m.sender = leader;
+  m.color_index = 0;
+  m.target = w;
+  m.tc = tc;
+  return m;
+}
+
+[[nodiscard]] inline Message make_request(NodeId v, NodeId leader) {
+  Message m;
+  m.type = MsgType::kRequest;
+  m.sender = v;
+  m.target = leader;
+  return m;
+}
+
+}  // namespace urn::radio

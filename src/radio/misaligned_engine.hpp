@@ -1,0 +1,210 @@
+/// \file misaligned_engine.hpp
+/// \brief The non-aligned-slots variant of the radio medium (Sect. 2).
+///
+/// The paper's analysis assumes slot boundaries are synchronized, but
+/// notes: "all analytical results carry over to the practical non-aligned
+/// case with an additional small constant factor, since each time slot can
+/// overlap with at most two time-slots of a neighbor [29]."  This engine
+/// implements that case so the claim can be *measured* (experiment E12):
+///
+///  * global time advances in **half-slots**; each node has a fixed phase
+///    offset φ_v ∈ {0, 1} half-slots, so its local slot t occupies global
+///    half-slots 2t+φ_v and 2t+φ_v+1 — overlapping at most two local
+///    slots of any neighbor, exactly the situation in [29];
+///  * a transmission occupies the sender's full local slot (two halves);
+///  * a node u receives a transmission from neighbor s iff u was
+///    listening (not transmitting) during *both* halves of s's
+///    transmission and no other neighbor of u transmitted during either
+///    half — the receiver needs the medium clear for the whole frame, but
+///    does **not** need slot alignment with the sender;
+///  * still no collision detection of any kind.
+///
+/// Protocols are reused unchanged: callbacks fire once per *local* slot,
+/// and all times a protocol sees (ctx.now, decision slots, latencies) are
+/// in local slots, directly comparable to radio::Engine's slot counts.
+
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "radio/engine.hpp"
+#include "radio/message.hpp"
+#include "radio/wakeup.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace urn::radio {
+
+template <NodeProtocol P>
+class MisalignedEngine {
+ public:
+  /// \param offsets per-node phase offset in half-slots (each 0 or 1)
+  MisalignedEngine(const graph::Graph& g, WakeSchedule schedule,
+                   std::vector<P> nodes, std::vector<std::uint8_t> offsets,
+                   std::uint64_t seed)
+      : graph_(g),
+        schedule_(std::move(schedule)),
+        nodes_(std::move(nodes)),
+        offsets_(std::move(offsets)),
+        awake_(g.num_nodes(), false),
+        decision_slot_(g.num_nodes(), kUndecided),
+        tx_until_half_(g.num_nodes(), -1),
+        nbr_count_{std::vector<std::uint32_t>(g.num_nodes(), 0),
+                   std::vector<std::uint32_t>(g.num_nodes(), 0)} {
+    URN_CHECK(nodes_.size() == graph_.num_nodes());
+    URN_CHECK(schedule_.size() == graph_.num_nodes());
+    URN_CHECK(offsets_.size() == graph_.num_nodes());
+    for (std::uint8_t o : offsets_) URN_CHECK(o <= 1);
+    rngs_.reserve(graph_.num_nodes());
+    for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      rngs_.emplace_back(mix_seed(seed, v));
+    }
+  }
+
+  /// Uniformly random offsets, the natural "unsynchronized clocks" model.
+  [[nodiscard]] static std::vector<std::uint8_t> random_offsets(
+      std::size_t n, Rng& rng) {
+    std::vector<std::uint8_t> offsets(n);
+    for (auto& o : offsets) o = static_cast<std::uint8_t>(rng.below(2));
+    return offsets;
+  }
+
+  /// Advance one global half-slot.
+  void step_half() {
+    const std::int64_t h = half_;
+    const std::size_t parity = static_cast<std::size_t>(h & 1);
+    std::fill(nbr_count_[parity].begin(), nbr_count_[parity].end(), 0u);
+
+    // (1) Nodes whose local slot starts at this half run their protocol.
+    started_now_.clear();
+    for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      if ((h - offsets_[v]) < 0 || ((h - offsets_[v]) & 1) != 0) continue;
+      const Slot local = (h - offsets_[v]) / 2;
+      if (local < schedule_.wake_slot(v)) continue;
+      if (!awake_[v]) {
+        awake_[v] = true;
+        SlotContext ctx = context(v, local);
+        nodes_[v].on_wake(ctx);
+      }
+      SlotContext ctx = context(v, local);
+      if (std::optional<Message> msg = nodes_[v].on_slot(ctx)) {
+        URN_DCHECK(msg->sender == v);
+        ++stats_.transmissions;
+        tx_until_half_[v] = h + 1;  // occupies halves h and h+1
+        active_.push_back({*msg, h});
+        started_now_.push_back(v);
+      }
+      if (decision_slot_[v] == kUndecided && nodes_[v].decided()) {
+        decision_slot_[v] = local;
+      }
+    }
+
+    // (2) Account every ongoing transmission in this half's counts.
+    for (const auto& tx : active_) {
+      for (graph::NodeId u : graph_.neighbors(tx.msg.sender)) {
+        ++nbr_count_[parity][u];
+      }
+    }
+
+    // (3) Transmissions that started at h−1 complete now: deliver.
+    const std::size_t prev = static_cast<std::size_t>((h - 1) & 1);
+    for (std::size_t i = 0; i < active_.size();) {
+      const ActiveTx& tx = active_[i];
+      if (tx.start_half != h - 1) {
+        ++i;
+        continue;
+      }
+      for (graph::NodeId u : graph_.neighbors(tx.msg.sender)) {
+        if (!awake_[u]) continue;
+        // u listening during both halves?
+        if (tx_until_half_[u] >= h - 1) continue;
+        const bool clear =
+            nbr_count_[prev][u] == 1 && nbr_count_[parity][u] == 1;
+        if (clear) {
+          ++stats_.deliveries;
+          const Slot local = (h - offsets_[u]) / 2;
+          SlotContext ctx = context(u, local);
+          nodes_[u].on_receive(ctx, tx.msg);
+          if (decision_slot_[u] == kUndecided && nodes_[u].decided()) {
+            decision_slot_[u] = local;
+          }
+        } else if (nbr_count_[prev][u] >= 2 || nbr_count_[parity][u] >= 2) {
+          ++stats_.collisions;
+        }
+      }
+      active_[i] = active_.back();
+      active_.pop_back();
+    }
+
+    ++half_;
+    stats_.slots_run = half_ / 2;
+  }
+
+  /// Run until every node is awake and decided, or the local-slot cap.
+  RunStats run(Slot max_local_slots) {
+    URN_CHECK(max_local_slots > 0);
+    while (half_ < 2 * max_local_slots + 2) {
+      step_half();
+      if (all_decided()) break;
+    }
+    stats_.all_decided = all_decided();
+    return stats_;
+  }
+
+  [[nodiscard]] bool all_decided() const {
+    for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      if (!awake_[v] || decision_slot_[v] == kUndecided) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] const P& node(graph::NodeId v) const { return nodes_.at(v); }
+  [[nodiscard]] const RunStats& stats() const { return stats_; }
+
+  /// Decision time in the node's own local slots (comparable to Engine).
+  [[nodiscard]] Slot decision_slot(graph::NodeId v) const {
+    return decision_slot_.at(v);
+  }
+  [[nodiscard]] Slot decision_latency(graph::NodeId v) const {
+    URN_CHECK(decision_slot_.at(v) != kUndecided);
+    return decision_slot_[v] - schedule_.wake_slot(v);
+  }
+
+  static constexpr Slot kUndecided = -1;
+
+ private:
+  struct ActiveTx {
+    Message msg;
+    std::int64_t start_half;
+  };
+
+  [[nodiscard]] SlotContext context(graph::NodeId v, Slot local) {
+    SlotContext ctx;
+    ctx.id = v;
+    ctx.now = local;
+    ctx.awake_for = local - schedule_.wake_slot(v);
+    ctx.rng = &rngs_[v];
+    return ctx;
+  }
+
+  const graph::Graph& graph_;
+  WakeSchedule schedule_;
+  std::vector<P> nodes_;
+  std::vector<std::uint8_t> offsets_;
+  std::vector<Rng> rngs_;
+
+  std::int64_t half_ = 0;
+  std::vector<bool> awake_;
+  std::vector<Slot> decision_slot_;
+  std::vector<std::int64_t> tx_until_half_;
+  std::vector<std::uint32_t> nbr_count_[2];
+  std::vector<ActiveTx> active_;
+  std::vector<graph::NodeId> started_now_;
+
+  RunStats stats_;
+};
+
+}  // namespace urn::radio

@@ -1,0 +1,99 @@
+#include "radio/wakeup.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace urn::radio {
+
+WakeSchedule::WakeSchedule(std::vector<Slot> wake_slots)
+    : wake_(std::move(wake_slots)) {
+  for (Slot s : wake_) URN_CHECK(s >= 0);
+}
+
+Slot WakeSchedule::latest() const {
+  if (wake_.empty()) return 0;
+  return *std::max_element(wake_.begin(), wake_.end());
+}
+
+WakeSchedule WakeSchedule::synchronous(std::size_t n) {
+  return WakeSchedule(std::vector<Slot>(n, 0));
+}
+
+WakeSchedule WakeSchedule::uniform(std::size_t n, Slot window, Rng& rng) {
+  URN_CHECK(window >= 0);
+  std::vector<Slot> wake(n);
+  for (auto& w : wake) {
+    w = static_cast<Slot>(rng.below(static_cast<std::uint64_t>(window) + 1));
+  }
+  return WakeSchedule(std::move(wake));
+}
+
+namespace {
+
+std::vector<Slot> permuted(std::vector<Slot> sorted_times, Rng& rng) {
+  std::vector<std::size_t> order(sorted_times.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  std::vector<Slot> wake(sorted_times.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    wake[order[i]] = sorted_times[i];
+  }
+  return wake;
+}
+
+}  // namespace
+
+WakeSchedule WakeSchedule::sequential(std::size_t n, Slot gap, Rng& rng) {
+  URN_CHECK(gap >= 0);
+  std::vector<Slot> times(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    times[i] = static_cast<Slot>(i) * gap;
+  }
+  return WakeSchedule(permuted(std::move(times), rng));
+}
+
+WakeSchedule WakeSchedule::poisson(std::size_t n, double mean_gap, Rng& rng) {
+  URN_CHECK(mean_gap > 0.0);
+  std::vector<Slot> times(n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.exponential(1.0 / mean_gap);
+    times[i] = static_cast<Slot>(std::llround(t));
+  }
+  return WakeSchedule(permuted(std::move(times), rng));
+}
+
+WakeSchedule WakeSchedule::wavefront(const std::vector<geom::Vec2>& positions,
+                                     double slots_per_unit, Slot jitter,
+                                     Rng& rng) {
+  URN_CHECK(slots_per_unit >= 0.0 && jitter >= 0);
+  double min_x = 0.0;
+  if (!positions.empty()) {
+    min_x = std::min_element(positions.begin(), positions.end(),
+                             [](auto a, auto b) { return a.x < b.x; })
+                ->x;
+  }
+  std::vector<Slot> wake(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const double base = (positions[i].x - min_x) * slots_per_unit;
+    const auto extra =
+        static_cast<Slot>(rng.below(static_cast<std::uint64_t>(jitter) + 1));
+    wake[i] = static_cast<Slot>(std::llround(base)) + extra;
+  }
+  return WakeSchedule(std::move(wake));
+}
+
+WakeSchedule WakeSchedule::staged(std::size_t n, std::size_t bursts, Slot gap,
+                                  Rng& rng) {
+  URN_CHECK(bursts >= 1 && gap >= 0);
+  std::vector<Slot> wake(n);
+  for (auto& w : wake) {
+    w = static_cast<Slot>(rng.below(bursts)) * gap;
+  }
+  return WakeSchedule(std::move(wake));
+}
+
+}  // namespace urn::radio

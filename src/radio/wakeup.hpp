@@ -1,0 +1,65 @@
+/// \file wakeup.hpp
+/// \brief Asynchronous wake-up schedules (Sect. 2).
+///
+/// The unstructured radio network model makes *no* assumption about wake-up
+/// times; an algorithm must cope with every pattern.  A `WakeSchedule` is
+/// simply the wake slot of each node.  The named constructors cover the two
+/// extremes the paper calls out (all-synchronous; long sequential gaps) and
+/// several adversarial/realistic patterns in between.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "radio/message.hpp"
+#include "support/rng.hpp"
+
+namespace urn::radio {
+
+/// Per-node wake slots.  Slot 0 is the first slot of the simulation.
+class WakeSchedule {
+ public:
+  WakeSchedule() = default;
+  explicit WakeSchedule(std::vector<Slot> wake_slots);
+
+  [[nodiscard]] std::size_t size() const { return wake_.size(); }
+  [[nodiscard]] Slot wake_slot(NodeId v) const { return wake_.at(v); }
+  [[nodiscard]] Slot latest() const;
+  [[nodiscard]] const std::vector<Slot>& slots() const { return wake_; }
+
+  /// All nodes wake at slot 0 (the synchronous extreme).
+  [[nodiscard]] static WakeSchedule synchronous(std::size_t n);
+
+  /// Each node wakes uniformly at random in [0, window].
+  [[nodiscard]] static WakeSchedule uniform(std::size_t n, Slot window,
+                                            Rng& rng);
+
+  /// Node i wakes at i·gap (the sequential extreme; random node order).
+  [[nodiscard]] static WakeSchedule sequential(std::size_t n, Slot gap,
+                                               Rng& rng);
+
+  /// Poisson arrival process with the given expected inter-arrival gap
+  /// (random node order).
+  [[nodiscard]] static WakeSchedule poisson(std::size_t n, double mean_gap,
+                                            Rng& rng);
+
+  /// Deployment wavefront: wake time proportional to the x-coordinate
+  /// (`slots_per_unit` per distance unit) plus uniform jitter — models a
+  /// vehicle dropping sensors along a path; adversarial for protocols that
+  /// implicitly assume neighbors wake together.
+  [[nodiscard]] static WakeSchedule wavefront(
+      const std::vector<geom::Vec2>& positions, double slots_per_unit,
+      Slot jitter, Rng& rng);
+
+  /// `bursts` groups of equal size waking `gap` slots apart; group
+  /// membership is random.  Models staged deployments.
+  [[nodiscard]] static WakeSchedule staged(std::size_t n, std::size_t bursts,
+                                           Slot gap, Rng& rng);
+
+ private:
+  std::vector<Slot> wake_;
+};
+
+}  // namespace urn::radio

@@ -1,0 +1,60 @@
+/// \file check.hpp
+/// \brief Lightweight runtime-check macros used across the library.
+///
+/// `URN_CHECK` is always on and throws `urn::CheckError` (derived from
+/// `std::logic_error`) carrying the failed condition and location.  It is
+/// used to validate public API preconditions.  `URN_DCHECK` compiles to a
+/// no-op in release builds and guards internal invariants on hot paths.
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace urn {
+
+/// Error thrown when a `URN_CHECK` precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "URN_CHECK failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace urn
+
+/// Validate a precondition; throws urn::CheckError on failure.
+#define URN_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::urn::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+/// Validate a precondition with an explanatory message (streamable).
+#define URN_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream urn_check_os;                               \
+      urn_check_os << msg;                                           \
+      ::urn::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                  urn_check_os.str());               \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define URN_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define URN_DCHECK(cond) URN_CHECK(cond)
+#endif

@@ -1,0 +1,35 @@
+#include "support/ids.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace urn {
+
+std::vector<std::uint64_t> random_ids(std::size_t n, Rng& rng) {
+  URN_CHECK(n >= 1);
+  const auto cube = static_cast<std::uint64_t>(n) *
+                    static_cast<std::uint64_t>(n) *
+                    static_cast<std::uint64_t>(n);
+  std::vector<std::uint64_t> ids(n);
+  for (auto& id : ids) id = 1 + rng.below(cube);
+  return ids;
+}
+
+std::size_t count_id_collisions(const std::vector<std::uint64_t>& ids) {
+  std::vector<std::uint64_t> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t collisions = 0;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] == sorted[i - 1]) ++collisions;
+  }
+  return collisions;
+}
+
+double id_collision_bound(std::size_t n) {
+  if (n < 2) return 0.0;
+  const double nd = static_cast<double>(n);
+  return (nd * (nd - 1.0) / 2.0) / (nd * nd * nd);
+}
+
+}  // namespace urn

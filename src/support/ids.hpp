@@ -1,0 +1,31 @@
+/// \file ids.hpp
+/// \brief Random node identifiers (Sect. 2).
+///
+/// The model only needs IDs so a receiver can tell two senders apart; if
+/// hardware provides none, "each node can randomly choose an ID uniformly
+/// from the range [1 … n³] upon waking up", with collision probability
+/// P ≤ C(n,2)/n³ ∈ O(1/n).  This module implements that scheme and the
+/// bound, so experiments can quantify how often ambient ID collisions
+/// would actually occur.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace urn {
+
+/// Draw `n` IDs uniformly from [1, n³] (independent; collisions possible,
+/// exactly as the paper's scheme allows).
+[[nodiscard]] std::vector<std::uint64_t> random_ids(std::size_t n, Rng& rng);
+
+/// Number of pairwise collisions in an ID assignment.
+[[nodiscard]] std::size_t count_id_collisions(
+    const std::vector<std::uint64_t>& ids);
+
+/// The paper's collision-probability bound: C(n,2)/n³ ≤ 1/(2n).
+[[nodiscard]] double id_collision_bound(std::size_t n);
+
+}  // namespace urn

@@ -1,0 +1,136 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace urn {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Samples::add_all(const std::vector<double>& xs) {
+  values_.insert(values_.end(), xs.begin(), xs.end());
+  sorted_valid_ = false;
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double m2 = 0.0;
+  for (double v : values_) m2 += (v - m) * (v - m);
+  return std::sqrt(m2 / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  URN_CHECK(!sorted_.empty());
+  return sorted_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  URN_CHECK(!sorted_.empty());
+  return sorted_.back();
+}
+
+double Samples::percentile(double p) const {
+  ensure_sorted();
+  URN_CHECK(!sorted_.empty());
+  URN_CHECK(p >= 0.0 && p <= 100.0);
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+LinearFit fit_line(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  URN_CHECK(xs.size() == ys.size());
+  URN_CHECK(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  if (sxx == 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy == 0.0) {
+    fit.r_squared = 1.0;
+  } else {
+    fit.r_squared = (sxy * sxy) / (sxx * syy);
+  }
+  return fit;
+}
+
+}  // namespace urn

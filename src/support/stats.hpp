@@ -1,0 +1,84 @@
+/// \file stats.hpp
+/// \brief Streaming and batch statistics used by the experiment harness.
+///
+/// `Accumulator` is a Welford-style streaming mean/variance/min/max;
+/// `Samples` retains values for order statistics (percentiles, median).
+/// Both are deliberately simple value types so experiment code can aggregate
+/// thousands of trials without allocation churn.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace urn {
+
+/// Streaming mean / variance / extrema (Welford's online algorithm).
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel-combine rule).
+  void merge(const Accumulator& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Value-retaining sample set with percentile queries.
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_valid_ = false;
+  }
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Linear-interpolated percentile, p in [0, 100]. \pre non-empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Least-squares fit y ≈ a + b·x; used to check scaling *shapes*
+/// (e.g. decision time linear in Δ, logarithmic in n).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination in [0, 1].
+  double r_squared = 0.0;
+};
+
+/// Fit a line through (x, y) pairs. \pre xs.size() == ys.size() >= 2.
+[[nodiscard]] LinearFit fit_line(const std::vector<double>& xs,
+                                 const std::vector<double>& ys);
+
+}  // namespace urn

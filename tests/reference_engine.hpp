@@ -1,0 +1,131 @@
+/// \file reference_engine.hpp
+/// \brief A deliberately naive re-implementation of the radio medium used
+///        ONLY for differential testing.
+///
+/// Same semantics and same per-node randomness derivation as
+/// radio::Engine, but written in the most obvious way possible (full
+/// arrays cleared every slot, no epoch stamps, no early-outs).  The
+/// differential tests run identical protocols on both engines and demand
+/// bit-identical outcomes; any divergence pinpoints a bug in the optimized
+/// engine's bookkeeping.
+
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "radio/engine.hpp"
+#include "radio/message.hpp"
+#include "radio/wakeup.hpp"
+#include "support/rng.hpp"
+
+namespace urn::testing {
+
+template <radio::NodeProtocol P>
+class ReferenceEngine {
+ public:
+  ReferenceEngine(const graph::Graph& g, radio::WakeSchedule schedule,
+                  std::vector<P> nodes, std::uint64_t seed)
+      : graph_(g), schedule_(std::move(schedule)), nodes_(std::move(nodes)) {
+    for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      rngs_.emplace_back(mix_seed(seed, v));
+    }
+    awake_.assign(graph_.num_nodes(), false);
+    decision_slot_.assign(graph_.num_nodes(), -1);
+  }
+
+  void step() {
+    const radio::Slot now = slot_;
+    const std::size_t n = graph_.num_nodes();
+
+    // Wake (any order; engine wakes in schedule order — same calls).
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (!awake_[v] && schedule_.wake_slot(v) <= now) {
+        awake_[v] = true;
+        auto ctx = context(v, now);
+        nodes_[v].on_wake(ctx);
+      }
+    }
+
+    // Collect transmissions in node order.
+    std::vector<std::optional<radio::Message>> tx(n);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (!awake_[v]) continue;
+      auto ctx = context(v, now);
+      tx[v] = nodes_[v].on_slot(ctx);
+      if (tx[v]) ++transmissions_;
+    }
+
+    // Deliver: for every listening awake node, count transmitting
+    // neighbors from scratch.
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (!awake_[v] || tx[v].has_value()) continue;
+      std::size_t talkers = 0;
+      graph::NodeId talker = graph::kInvalidNode;
+      for (graph::NodeId u : graph_.neighbors(v)) {
+        if (tx[u].has_value()) {
+          ++talkers;
+          talker = u;
+        }
+      }
+      if (talkers == 1) {
+        auto ctx = context(v, now);
+        nodes_[v].on_receive(ctx, *tx[talker]);
+        ++deliveries_;
+      } else if (talkers >= 2) {
+        ++collisions_;
+      }
+    }
+
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (awake_[v] && decision_slot_[v] == -1 && nodes_[v].decided()) {
+        decision_slot_[v] = now;
+      }
+    }
+    ++slot_;
+  }
+
+  void run_until_all_decided(radio::Slot max_slots) {
+    while (slot_ < max_slots && !all_decided()) step();
+  }
+
+  [[nodiscard]] bool all_decided() const {
+    for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      if (!awake_[v] || decision_slot_[v] == -1) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] const P& node(graph::NodeId v) const { return nodes_.at(v); }
+  [[nodiscard]] radio::Slot decision_slot(graph::NodeId v) const {
+    return decision_slot_.at(v);
+  }
+  [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
+
+ private:
+  [[nodiscard]] radio::SlotContext context(graph::NodeId v, radio::Slot now) {
+    radio::SlotContext ctx;
+    ctx.id = v;
+    ctx.now = now;
+    ctx.awake_for = now - schedule_.wake_slot(v);
+    ctx.rng = &rngs_[v];
+    return ctx;
+  }
+
+  const graph::Graph& graph_;
+  radio::WakeSchedule schedule_;
+  std::vector<P> nodes_;
+  std::vector<Rng> rngs_;
+  std::vector<bool> awake_;
+  std::vector<radio::Slot> decision_slot_;
+  radio::Slot slot_ = 0;
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace urn::testing

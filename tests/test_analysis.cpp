@@ -1,0 +1,160 @@
+// Tests for the analysis module: tables, CSV export, trial aggregation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/experiment.hpp"
+#include "analysis/table.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace urn::analysis {
+namespace {
+
+// ------------------------------------------------------------------ table -
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t("demo", "Demo table");
+  t.set_header({"x", "value"});
+  t.add_row({"1", "10.00"});
+  t.add_row({"100", "3.14"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo table"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t("demo", "Demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, HeaderFrozenAfterRows) {
+  Table t("demo", "Demo");
+  t.set_header({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.set_header({"a", "b"}), CheckError);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::num(static_cast<std::int64_t>(-42)), "-42");
+  EXPECT_EQ(Table::num(static_cast<std::uint64_t>(7)), "7");
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t("csv_roundtrip_test", "CSV");
+  t.set_header({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  const std::string path = t.write_csv("/tmp");
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvToMissingDirectoryFails) {
+  Table t("nope", "x");
+  t.set_header({"a"});
+  EXPECT_THROW((void)t.write_csv("/nonexistent_dir_urn"), CheckError);
+}
+
+// -------------------------------------------------------------- schedules -
+
+TEST(ScheduleFactories, SynchronousProducesZeros) {
+  const auto factory = synchronous_schedule(5);
+  const auto ws = factory(123);
+  EXPECT_EQ(ws.latest(), 0);
+  EXPECT_EQ(ws.size(), 5u);
+}
+
+TEST(ScheduleFactories, UniformIsDeterministicPerSeed) {
+  const auto factory = uniform_schedule(50, 1000);
+  const auto a = factory(7);
+  const auto b = factory(7);
+  const auto c = factory(8);
+  EXPECT_EQ(a.slots(), b.slots());
+  EXPECT_NE(a.slots(), c.slots());
+}
+
+// ------------------------------------------------------------- aggregate --
+
+TEST(Aggregate, CountsValidAndCompleted) {
+  CoreAggregate agg;
+  core::RunResult ok;
+  ok.colors = {0, 1};
+  ok.check.correct = true;
+  ok.check.complete = true;
+  ok.all_decided = true;
+  ok.latency = {10, 20};
+  ok.max_color = 1;
+  ok.num_leaders = 1;
+  record_run(agg, ok);
+
+  core::RunResult bad;
+  bad.colors = {0, graph::kUncolored};
+  bad.check.correct = true;
+  bad.check.complete = false;
+  bad.all_decided = false;
+  bad.latency = {10};
+  bad.max_color = 0;
+  record_run(agg, bad);
+
+  EXPECT_EQ(agg.trials, 2u);
+  EXPECT_EQ(agg.valid, 1u);
+  EXPECT_EQ(agg.completed, 1u);
+  EXPECT_DOUBLE_EQ(agg.valid_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(agg.completed_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(agg.max_latency.max(), 20.0);
+}
+
+TEST(Aggregate, EmptyFractionsAreZero) {
+  const CoreAggregate agg;
+  EXPECT_DOUBLE_EQ(agg.valid_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.completed_fraction(), 0.0);
+}
+
+// --------------------------------------------------------- trial running --
+
+TEST(Trials, RunsRequestedCountAndIsDeterministic) {
+  Rng rng(60);
+  const auto net = graph::random_udg(50, 5.0, 1.4, rng);
+  const auto delta = net.graph.max_closed_degree();
+  const auto p =
+      core::Params::practical(net.graph.num_nodes(), delta, 5, 10);
+  const auto factory = synchronous_schedule(net.graph.num_nodes());
+  const auto a = run_core_trials(net.graph, p, factory, 3, 42);
+  const auto b = run_core_trials(net.graph, p, factory, 3, 42);
+  EXPECT_EQ(a.trials, 3u);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_DOUBLE_EQ(a.max_latency.mean(), b.max_latency.mean());
+  EXPECT_EQ(a.slots_run.count(), 3u);
+}
+
+TEST(Trials, DifferentMasterSeedsDiffer) {
+  Rng rng(61);
+  const auto net = graph::random_udg(50, 5.0, 1.4, rng);
+  const auto delta = net.graph.max_closed_degree();
+  const auto p =
+      core::Params::practical(net.graph.num_nodes(), delta, 5, 10);
+  const auto factory = synchronous_schedule(net.graph.num_nodes());
+  const auto a = run_core_trials(net.graph, p, factory, 2, 1);
+  const auto b = run_core_trials(net.graph, p, factory, 2, 2);
+  EXPECT_NE(a.slots_run.mean(), b.slots_run.mean());
+}
+
+}  // namespace
+}  // namespace urn::analysis

@@ -1,0 +1,166 @@
+// Tests for the baseline algorithms: rand-verify (Busch-style) in the
+// radio model, and the idealized message-passing references.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/message_passing.hpp"
+#include "baselines/rand_verify.hpp"
+#include "graph/generators.hpp"
+#include "graph/independence.hpp"
+#include "support/rng.hpp"
+
+namespace urn::baselines {
+namespace {
+
+// ---------------------------------------------------------- rand-verify ---
+
+RandVerifyParams rv_params(std::uint64_t n, std::uint32_t delta) {
+  RandVerifyParams p;
+  p.n = n;
+  p.delta = delta;
+  return p;
+}
+
+TEST(RandVerify, IsolatedNodeDecides) {
+  const graph::Graph g = graph::empty_graph(1);
+  const auto r = run_rand_verify(g, rv_params(16, 2),
+                                 radio::WakeSchedule::synchronous(1), 1,
+                                 200000);
+  ASSERT_TRUE(r.all_decided);
+  EXPECT_TRUE(r.check.valid());
+}
+
+TEST(RandVerify, PathGraphColorsProperly) {
+  const graph::Graph g = graph::path_graph(8);
+  const auto r = run_rand_verify(g, rv_params(16, 3),
+                                 radio::WakeSchedule::synchronous(8), 2,
+                                 500000);
+  ASSERT_TRUE(r.all_decided);
+  EXPECT_TRUE(r.check.valid());
+}
+
+class RandVerifySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandVerifySweep, ValidColoringWithinPaletteOnUdg) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 5);
+  const auto net = graph::random_udg(60, 6.5, 1.3, rng);
+  const auto delta = net.graph.max_closed_degree();
+  const RandVerifyParams p = rv_params(net.graph.num_nodes(), delta);
+  const auto r = run_rand_verify(
+      net.graph, p, radio::WakeSchedule::synchronous(net.graph.num_nodes()),
+      static_cast<std::uint64_t>(GetParam()), 4000000);
+  ASSERT_TRUE(r.all_decided);
+  EXPECT_TRUE(r.check.valid());
+  EXPECT_LT(r.max_color, p.palette());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandVerifySweep, ::testing::Range(0, 5));
+
+TEST(RandVerify, AsynchronousWakeupStillValid) {
+  Rng rng(7);
+  const auto net = graph::random_udg(50, 6.0, 1.3, rng);
+  const auto delta = net.graph.max_closed_degree();
+  Rng wrng(8);
+  const auto ws =
+      radio::WakeSchedule::uniform(net.graph.num_nodes(), 5000, wrng);
+  const auto r = run_rand_verify(net.graph, rv_params(50, delta), ws, 3,
+                                 4000000);
+  ASSERT_TRUE(r.all_decided);
+  EXPECT_TRUE(r.check.valid());
+}
+
+TEST(RandVerifyParamsTest, DerivedQuantities) {
+  RandVerifyParams p;
+  p.n = 100;
+  p.delta = 10;
+  EXPECT_GT(p.verify_slots(), p.listen_slots());  // Δ² vs Δ
+  EXPECT_GE(p.palette(), static_cast<std::int32_t>(p.delta) + 1);
+  EXPECT_DOUBLE_EQ(p.p_send(), 0.1);
+}
+
+// ------------------------------------------------------------- Luby MIS ---
+
+class LubySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LubySweep, ProducesMaximalIndependentSet) {
+  Rng grng(static_cast<std::uint64_t>(GetParam()) * 31 + 3);
+  const auto net = graph::random_udg(120, 7.0, 1.4, grng);
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const MisResult mis = luby_mis(net.graph, rng);
+  EXPECT_TRUE(graph::is_maximal_independent_set(net.graph, mis.mis));
+  EXPECT_GT(mis.rounds, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LubySweep, ::testing::Range(0, 6));
+
+TEST(Luby, EmptyGraphSelectsEveryone) {
+  Rng rng(1);
+  const MisResult mis = luby_mis(graph::empty_graph(10), rng);
+  EXPECT_EQ(mis.mis.size(), 10u);
+  EXPECT_EQ(mis.rounds, 1u);
+}
+
+TEST(Luby, CompleteGraphSelectsOne) {
+  Rng rng(2);
+  const MisResult mis = luby_mis(graph::complete_graph(20), rng);
+  EXPECT_EQ(mis.mis.size(), 1u);
+}
+
+TEST(Luby, RoundsLogarithmicInPractice) {
+  Rng grng(3);
+  const auto g = graph::gnp(300, 0.05, grng);
+  Rng rng(4);
+  const MisResult mis = luby_mis(g, rng);
+  EXPECT_LE(mis.rounds, 40u);  // ≈ c·log n with generous slack
+}
+
+// --------------------------------------------- message-passing coloring ---
+
+class MpColoringSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpColoringSweep, ValidWithinDeltaPlusOne) {
+  Rng grng(static_cast<std::uint64_t>(GetParam()) * 41 + 11);
+  const auto net = graph::random_udg(150, 7.0, 1.4, grng);
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const MpColoringResult r = mp_random_coloring(net.graph, rng);
+  EXPECT_TRUE(graph::validate(net.graph, r.colors).valid());
+  EXPECT_LE(graph::max_color(r.colors),
+            static_cast<graph::Color>(net.graph.max_degree()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpColoringSweep, ::testing::Range(0, 6));
+
+TEST(MpColoring, PathUsesFewColors) {
+  Rng rng(5);
+  const MpColoringResult r = mp_random_coloring(graph::path_graph(50), rng);
+  EXPECT_TRUE(graph::validate(graph::path_graph(50), r.colors).valid());
+  EXPECT_LE(graph::max_color(r.colors), 2);
+}
+
+TEST(MpColoring, CompleteGraphNeedsAllColors) {
+  Rng rng(6);
+  const graph::Graph g = graph::complete_graph(8);
+  const MpColoringResult r = mp_random_coloring(g, rng);
+  EXPECT_TRUE(graph::validate(g, r.colors).valid());
+  EXPECT_EQ(graph::distinct_colors(r.colors), 8u);
+}
+
+TEST(MpColoring, RoundsSmallOnSparseGraphs) {
+  Rng grng(7);
+  const auto g = graph::gnp(400, 0.02, grng);
+  Rng rng(8);
+  const MpColoringResult r = mp_random_coloring(g, rng);
+  EXPECT_LE(r.rounds, 40u);
+}
+
+TEST(MpColoring, EdgelessGraphOneRound) {
+  Rng rng(9);
+  const MpColoringResult r = mp_random_coloring(graph::empty_graph(5), rng);
+  EXPECT_EQ(r.rounds, 1u);
+  for (graph::Color c : r.colors) EXPECT_EQ(c, 0);
+}
+
+}  // namespace
+}  // namespace urn::baselines

@@ -1,0 +1,108 @@
+// Tests for the degree-estimation pre-phase (the paper's Sect. 6
+// future-work direction).
+
+#include <gtest/gtest.h>
+
+#include "core/estimation.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace urn::core {
+namespace {
+
+TEST(Estimation, ParamsDeriveSanely) {
+  EstimationParams p;
+  p.n = 256;
+  EXPECT_EQ(p.num_phases(), 9u);  // ceil(log2 256) + 1
+  EXPECT_GT(p.slots_per_phase(), 0);
+}
+
+TEST(Estimation, IsolatedNodesEstimateOne) {
+  EstimationParams p;
+  p.n = 16;
+  const auto r = estimate_degrees(graph::empty_graph(4), p, 1);
+  for (auto e : r.degree_estimate) EXPECT_EQ(e, 1u);
+  for (auto e : r.local_max_estimate) EXPECT_EQ(e, 1u);
+}
+
+TEST(Estimation, DeterministicInSeed) {
+  Rng rng(3);
+  const auto net = graph::random_udg(60, 5.0, 1.4, rng);
+  EstimationParams p;
+  p.n = 60;
+  const auto a = estimate_degrees(net.graph, p, 7);
+  const auto b = estimate_degrees(net.graph, p, 7);
+  EXPECT_EQ(a.degree_estimate, b.degree_estimate);
+  const auto c = estimate_degrees(net.graph, p, 8);
+  EXPECT_NE(a.degree_estimate, c.degree_estimate);
+}
+
+TEST(Estimation, SlotsAccountedFor) {
+  Rng rng(4);
+  const auto net = graph::random_udg(40, 5.0, 1.4, rng);
+  EstimationParams p;
+  p.n = 40;
+  const auto r = estimate_degrees(net.graph, p, 1);
+  EXPECT_EQ(r.slots, static_cast<std::int64_t>(p.num_phases()) *
+                         p.slots_per_phase());
+}
+
+TEST(Estimation, LocalMaxDominatesOwnEstimate) {
+  Rng rng(5);
+  const auto net = graph::random_udg(80, 6.0, 1.4, rng);
+  EstimationParams p;
+  p.n = 80;
+  const auto r = estimate_degrees(net.graph, p, 2);
+  for (graph::NodeId v = 0; v < net.graph.num_nodes(); ++v) {
+    EXPECT_GE(r.local_max_estimate[v], r.degree_estimate[v]);
+    for (graph::NodeId u : net.graph.neighbors(v)) {
+      EXPECT_GE(r.local_max_estimate[v], r.degree_estimate[u]);
+    }
+  }
+}
+
+// Accuracy: a geometric-probing estimator resolves the degree up to a
+// constant factor; we allow a generous factor of 4 on dense UDGs.
+class EstimationAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(EstimationAccuracy, WithinConstantFactor) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 37 + 11);
+  const auto net = graph::random_udg(150, 7.0, 1.5, rng);
+  EstimationParams p;
+  p.n = 150;
+  const auto r =
+      estimate_degrees(net.graph, p, static_cast<std::uint64_t>(GetParam()));
+  std::size_t good = 0, considered = 0;
+  for (graph::NodeId v = 0; v < net.graph.num_nodes(); ++v) {
+    const double truth = net.graph.closed_degree(v);
+    if (truth < 4) continue;  // tiny degrees are noise-dominated
+    ++considered;
+    const double est = r.degree_estimate[v];
+    if (est >= truth / 4.0 && est <= truth * 4.0) ++good;
+  }
+  ASSERT_GT(considered, 0u);
+  EXPECT_GE(static_cast<double>(good) / static_cast<double>(considered),
+            0.85)
+      << good << "/" << considered << " within 4x";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimationAccuracy, ::testing::Range(0, 4));
+
+TEST(Estimation, LocalMaxApproximatesDeltaInDenseRegions) {
+  Rng rng(9);
+  const auto net = graph::clustered_udg(3, 30, 10.0, 0.6, 1.4, rng);
+  EstimationParams p;
+  p.n = 90;
+  const auto r = estimate_degrees(net.graph, p, 3);
+  const double delta = net.graph.max_closed_degree();
+  // Somewhere in the dense clusters the local-max estimate must reach a
+  // constant fraction of the true Delta.
+  std::uint32_t best = 0;
+  for (auto e : r.local_max_estimate) best = std::max(best, e);
+  EXPECT_GE(static_cast<double>(best), delta / 4.0);
+  // +1 because the estimator reports closed degree (2^k + 1).
+  EXPECT_LE(static_cast<double>(best), delta * 4.0 + 1.0);
+}
+
+}  // namespace
+}  // namespace urn::core

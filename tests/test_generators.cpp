@@ -1,0 +1,236 @@
+// Tests for the topology generators: geometric correctness of UDGs,
+// obstacle cutting, unit ball graphs, combinatorial families.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/vec2.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "support/rng.hpp"
+
+namespace urn::graph {
+namespace {
+
+// ----------------------------------------------------------- random UDG ---
+
+TEST(RandomUdg, EdgeIffWithinRadius) {
+  Rng rng(1);
+  const auto net = random_udg(80, 5.0, 1.2, rng);
+  for (NodeId i = 0; i < net.graph.num_nodes(); ++i) {
+    for (NodeId j = i + 1; j < net.graph.num_nodes(); ++j) {
+      const bool close =
+          geom::dist2(net.positions[i], net.positions[j]) <= 1.2 * 1.2;
+      EXPECT_EQ(net.graph.has_edge(i, j), close)
+          << "pair (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(RandomUdg, PositionsInsideField) {
+  Rng rng(2);
+  const auto net = random_udg(100, 3.0, 1.0, rng);
+  for (const auto& p : net.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 3.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 3.0);
+  }
+}
+
+TEST(RandomUdg, DeterministicInSeed) {
+  Rng a(3), b(3);
+  const auto n1 = random_udg(50, 4.0, 1.0, a);
+  const auto n2 = random_udg(50, 4.0, 1.0, b);
+  EXPECT_EQ(n1.graph.num_edges(), n2.graph.num_edges());
+  for (std::size_t i = 0; i < n1.positions.size(); ++i) {
+    EXPECT_EQ(n1.positions[i], n2.positions[i]);
+  }
+}
+
+TEST(RandomUdg, DenserFieldMoreEdges) {
+  Rng rng(4);
+  const auto sparse = random_udg(100, 20.0, 1.0, rng);
+  const auto dense = random_udg(100, 5.0, 1.0, rng);
+  EXPECT_GT(dense.graph.num_edges(), sparse.graph.num_edges());
+}
+
+// -------------------------------------------------------------- grid UDG --
+
+TEST(GridUdg, UnjitteredGridIsLattice) {
+  Rng rng(5);
+  const auto net = grid_udg(4, 3, 1.0, 1.0, 0.0, rng);
+  EXPECT_EQ(net.graph.num_nodes(), 12u);
+  // 4-neighbor lattice: 2·4·3 − 4 − 3 = 17 edges.
+  EXPECT_EQ(net.graph.num_edges(), 17u);
+  EXPECT_TRUE(is_connected(net.graph));
+}
+
+TEST(GridUdg, JitterKeepsNodeCount) {
+  Rng rng(6);
+  const auto net = grid_udg(5, 5, 1.0, 1.2, 0.2, rng);
+  EXPECT_EQ(net.graph.num_nodes(), 25u);
+}
+
+// --------------------------------------------------------- clustered UDG --
+
+TEST(ClusteredUdg, NodeCountAndBounds) {
+  Rng rng(7);
+  const auto net = clustered_udg(4, 25, 10.0, 0.5, 1.0, rng);
+  EXPECT_EQ(net.graph.num_nodes(), 100u);
+  for (const auto& p : net.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 10.0);
+  }
+}
+
+TEST(ClusteredUdg, TightClustersAreDense) {
+  Rng rng(8);
+  const auto tight = clustered_udg(3, 30, 20.0, 0.3, 1.0, rng);
+  const auto loose = clustered_udg(3, 30, 20.0, 5.0, 1.0, rng);
+  EXPECT_GT(tight.graph.max_degree(), loose.graph.max_degree());
+}
+
+// ----------------------------------------------------------- obstacles ----
+
+TEST(ObstacleBig, WallCutsLink) {
+  // Two nodes within radius, a wall crossing the line of sight.
+  const std::vector<geom::Vec2> pts = {{0.0, 0.0}, {1.0, 0.0}};
+  const std::vector<geom::Segment> wall = {{{0.5, -1.0}, {0.5, 1.0}}};
+  const auto blocked = obstacle_big(pts, wall, 1.5);
+  EXPECT_EQ(blocked.graph.num_edges(), 0u);
+  const auto open = obstacle_big(pts, {}, 1.5);
+  EXPECT_EQ(open.graph.num_edges(), 1u);
+}
+
+TEST(ObstacleBig, WallMissesLink) {
+  const std::vector<geom::Vec2> pts = {{0.0, 0.0}, {1.0, 0.0}};
+  const std::vector<geom::Segment> wall = {{{0.5, 0.5}, {0.5, 1.5}}};
+  const auto net = obstacle_big(pts, wall, 1.5);
+  EXPECT_EQ(net.graph.num_edges(), 1u);
+}
+
+TEST(ObstacleBig, EdgesAreSubsetOfUdg) {
+  Rng rng(9);
+  auto walls = random_walls(10, 6.0, 1.0, 3.0, rng);
+  const auto big = random_obstacle_big(100, 6.0, 1.2, walls, rng);
+  Rng rng2(9);
+  (void)random_walls(10, 6.0, 1.0, 3.0, rng2);  // advance identically
+  for (NodeId i = 0; i < big.graph.num_nodes(); ++i) {
+    for (NodeId u : big.graph.neighbors(i)) {
+      EXPECT_LE(geom::dist(big.positions[i], big.positions[u]), 1.2 + 1e-9);
+    }
+  }
+}
+
+TEST(ObstacleBig, ManyWallsRemoveEdges) {
+  Rng rng(10);
+  const auto walls = random_walls(40, 6.0, 1.0, 4.0, rng);
+  Rng rng_a(11), rng_b(11);
+  const auto open = random_obstacle_big(120, 6.0, 1.2, {}, rng_a);
+  const auto blocked = random_obstacle_big(120, 6.0, 1.2, walls, rng_b);
+  EXPECT_LT(blocked.graph.num_edges(), open.graph.num_edges());
+}
+
+TEST(RandomWalls, LengthsWithinRange) {
+  Rng rng(12);
+  for (const auto& w : random_walls(50, 10.0, 0.5, 2.0, rng)) {
+    const double len = geom::dist(w.a, w.b);
+    EXPECT_GE(len, 0.5 - 1e-9);
+    EXPECT_LE(len, 2.0 + 1e-9);
+  }
+}
+
+// ------------------------------------------------------- unit ball graph --
+
+TEST(UnitBall, EdgeIffWithinUnitDistance) {
+  Rng rng(13);
+  const auto ball = random_unit_ball(60, 3, 3.0, rng);
+  for (NodeId i = 0; i < ball.graph.num_nodes(); ++i) {
+    for (NodeId j = i + 1; j < ball.graph.num_nodes(); ++j) {
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < ball.dim; ++d) {
+        const double diff = ball.points[i][d] - ball.points[j][d];
+        d2 += diff * diff;
+      }
+      EXPECT_EQ(ball.graph.has_edge(i, j), d2 <= 1.0);
+    }
+  }
+}
+
+TEST(UnitBall, OneDimensionalMatchesIntervalGraph) {
+  Rng rng(14);
+  const auto ball = random_unit_ball(50, 1, 10.0, rng);
+  for (NodeId i = 0; i < 50; ++i) {
+    for (NodeId j = i + 1; j < 50; ++j) {
+      const bool close =
+          std::abs(ball.points[i][0] - ball.points[j][0]) <= 1.0;
+      EXPECT_EQ(ball.graph.has_edge(i, j), close);
+    }
+  }
+}
+
+TEST(UnitBall, UnusedCoordinatesAreZero) {
+  Rng rng(15);
+  const auto ball = random_unit_ball(10, 2, 2.0, rng);
+  for (const auto& p : ball.points) {
+    EXPECT_DOUBLE_EQ(p[2], 0.0);
+    EXPECT_DOUBLE_EQ(p[3], 0.0);
+  }
+}
+
+// -------------------------------------------------- combinatorial families
+
+TEST(Families, PathProperties) {
+  const Graph g = path_graph(6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(3), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Families, SingletonPath) {
+  const Graph g = path_graph(1);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Families, CycleProperties) {
+  const Graph g = cycle_graph(5);
+  EXPECT_EQ(g.num_edges(), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Families, CycleRequiresThreeNodes) {
+  EXPECT_THROW((void)cycle_graph(2), CheckError);
+}
+
+TEST(Families, StarProperties) {
+  const Graph g = star_graph(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(Families, CompleteProperties) {
+  const Graph g = complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Families, GnpExtremes) {
+  Rng rng(16);
+  EXPECT_EQ(gnp(20, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gnp(20, 1.0, rng).num_edges(), 190u);
+}
+
+TEST(Families, GnpDensityTracksP) {
+  Rng rng(17);
+  const Graph g = gnp(200, 0.1, rng);
+  const double expected = 0.1 * 199.0;  // expected degree
+  EXPECT_NEAR(g.average_degree(), expected, expected * 0.15);
+}
+
+}  // namespace
+}  // namespace urn::graph

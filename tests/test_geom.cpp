@@ -1,0 +1,155 @@
+// Unit tests for the geometry module: vectors, segments, spatial grid.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/segment.hpp"
+#include "support/check.hpp"
+#include "geom/spatial_grid.hpp"
+#include "geom/vec2.hpp"
+#include "support/rng.hpp"
+
+namespace urn::geom {
+namespace {
+
+// ----------------------------------------------------------------- vec2 ---
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Vec2(1.5, -0.5));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.cross(a), -1.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(dist({0.0, 0.0}, a), 5.0);
+  EXPECT_DOUBLE_EQ(dist2({1.0, 1.0}, {4.0, 5.0}), 25.0);
+}
+
+TEST(Aabb, ContainsIsInclusive) {
+  const Aabb box{{0.0, 0.0}, {2.0, 3.0}};
+  EXPECT_TRUE(box.contains({1.0, 1.0}));
+  EXPECT_TRUE(box.contains({0.0, 0.0}));
+  EXPECT_TRUE(box.contains({2.0, 3.0}));
+  EXPECT_FALSE(box.contains({2.1, 1.0}));
+  EXPECT_FALSE(box.contains({1.0, -0.1}));
+  EXPECT_DOUBLE_EQ(box.width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.height(), 3.0);
+}
+
+// -------------------------------------------------------------- segment ---
+
+TEST(Segment, OrientationSigns) {
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, 1}), 1);   // ccw
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, -1}), -1); // cw
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {2, 0}), 0);   // collinear
+}
+
+TEST(Segment, OnSegment) {
+  const Segment s{{0, 0}, {2, 2}};
+  EXPECT_TRUE(on_segment(s, {1, 1}));
+  EXPECT_TRUE(on_segment(s, {0, 0}));
+  EXPECT_TRUE(on_segment(s, {2, 2}));
+  EXPECT_FALSE(on_segment(s, {3, 3}));  // collinear but beyond
+  EXPECT_FALSE(on_segment(s, {1, 0}));  // off the line
+}
+
+TEST(Segment, ProperCrossing) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}}));
+}
+
+TEST(Segment, ParallelDisjoint) {
+  EXPECT_FALSE(segments_intersect({{0, 0}, {2, 0}}, {{0, 1}, {2, 1}}));
+}
+
+TEST(Segment, CollinearDisjoint) {
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{2, 0}, {3, 0}}));
+}
+
+TEST(Segment, CollinearOverlapping) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 0}}, {{1, 0}, {3, 0}}));
+}
+
+TEST(Segment, SharedEndpointTouches) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {1, 1}}, {{1, 1}, {2, 0}}));
+}
+
+TEST(Segment, TShapeTouches) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 0}}, {{1, 0}, {1, 2}}));
+}
+
+TEST(Segment, NearMissDoesNotTouch) {
+  EXPECT_FALSE(segments_intersect({{0, 0}, {2, 0}}, {{1, 0.001}, {1, 2}}));
+}
+
+TEST(Segment, CrossingFarApartFalse) {
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{5, 5}, {6, 6}}));
+}
+
+// --------------------------------------------------------- spatial grid ---
+
+TEST(SpatialGrid, MatchesBruteForceOnRandomPoints) {
+  Rng rng(99);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+  }
+  const double radius = 1.2;
+  const SpatialGrid grid(pts, radius);
+  for (std::uint32_t i = 0; i < pts.size(); i += 7) {
+    auto fast = grid.neighbors_within(i, radius);
+    std::vector<std::uint32_t> slow;
+    for (std::uint32_t j = 0; j < pts.size(); ++j) {
+      if (j != i && dist2(pts[i], pts[j]) <= radius * radius) {
+        slow.push_back(j);
+      }
+    }
+    EXPECT_EQ(fast, slow) << "mismatch at point " << i;
+  }
+}
+
+TEST(SpatialGrid, SinglePointHasNoNeighbors) {
+  const SpatialGrid grid({{1.0, 1.0}}, 1.0);
+  EXPECT_TRUE(grid.neighbors_within(0, 1.0).empty());
+}
+
+TEST(SpatialGrid, CoincidentPointsAreNeighbors) {
+  const SpatialGrid grid({{1.0, 1.0}, {1.0, 1.0}}, 1.0);
+  EXPECT_EQ(grid.neighbors_within(0, 1.0),
+            std::vector<std::uint32_t>{1});
+}
+
+TEST(SpatialGrid, RadiusBoundaryInclusive) {
+  const SpatialGrid grid({{0.0, 0.0}, {1.0, 0.0}}, 1.0);
+  EXPECT_EQ(grid.neighbors_within(0, 1.0).size(), 1u);
+}
+
+TEST(SpatialGrid, QueryRadiusLargerThanCellRejected) {
+  const SpatialGrid grid({{0.0, 0.0}, {1.0, 0.0}}, 1.0);
+  EXPECT_THROW((void)grid.neighbors_within(0, 2.0), CheckError);
+}
+
+TEST(SpatialGrid, ForEachWithinVisitsEachOnce) {
+  std::vector<Vec2> pts = {{0, 0}, {0.5, 0}, {0, 0.5}, {3, 3}};
+  const SpatialGrid grid(pts, 1.0);
+  std::vector<std::uint32_t> seen;
+  grid.for_each_within(0, 1.0, [&](std::uint32_t j) { seen.push_back(j); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace urn::geom

@@ -1,0 +1,184 @@
+// Unit tests for the graph core: builder, CSR accessors, traversal.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/traversal.hpp"
+
+namespace urn::graph {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1-2 triangle, tail 2-3-4.
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  return b.build();
+}
+
+// -------------------------------------------------------------- builder ---
+
+TEST(GraphBuilder, EmptyGraph) {
+  const Graph g = GraphBuilder(4).build();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(GraphBuilder, ZeroNodes) {
+  const Graph g = GraphBuilder(0).build();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilder, DuplicateEdgesCollapse) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphBuilder, SelfLoopsDropped) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(GraphBuilder, OutOfRangeEndpointRejected) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), CheckError);
+}
+
+TEST(GraphBuilder, ReusableAfterBuild) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g1 = b.build();
+  b.add_edge(1, 2);
+  const Graph g2 = b.build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+// ------------------------------------------------------------ accessors ---
+
+TEST(Graph, NeighborsAreSortedAndSymmetric) {
+  const Graph g = triangle_plus_tail();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nb = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    for (NodeId u : nb) EXPECT_TRUE(g.has_edge(u, v));
+  }
+}
+
+TEST(Graph, DegreesMatch) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(4), 1u);
+  EXPECT_EQ(g.closed_degree(2), 4u);  // paper convention: includes self
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.max_closed_degree(), 4u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);  // 2m/n = 10/5
+}
+
+TEST(Graph, HasEdge) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 4));
+}
+
+TEST(Graph, TwoHopClosedOnPath) {
+  const Graph g = path_graph(6);  // 0-1-2-3-4-5
+  EXPECT_EQ(g.two_hop_closed(0), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(g.two_hop_closed(2), (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(g.two_hop_closed(5), (std::vector<NodeId>{3, 4, 5}));
+}
+
+TEST(Graph, TwoHopClosedOnStar) {
+  const Graph g = star_graph(5);
+  // Everything is within two hops of everything through the hub.
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.two_hop_closed(v).size(), 5u);
+  }
+}
+
+TEST(Graph, TwoHopClosedIsolatedNode) {
+  const Graph g = empty_graph(3);
+  EXPECT_EQ(g.two_hop_closed(1), (std::vector<NodeId>{1}));
+}
+
+TEST(Graph, MaxClosedDegreeOfEdgeless) {
+  const Graph g = empty_graph(3);
+  EXPECT_EQ(g.max_closed_degree(), 1u);
+}
+
+// ------------------------------------------------------------ traversal ---
+
+TEST(Traversal, BfsDistancesOnPath) {
+  const Graph g = path_graph(5);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Traversal, BfsDistancesOnCycle) {
+  const Graph g = cycle_graph(6);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist, (std::vector<std::uint32_t>{0, 1, 2, 3, 2, 1}));
+}
+
+TEST(Traversal, BfsUnreachableMarked) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Traversal, ComponentsOfDisjointCliques) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = b.build();
+  const Components comps = connected_components(g);
+  EXPECT_EQ(comps.count, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(comps.id[0], comps.id[1]);
+  EXPECT_EQ(comps.id[1], comps.id[2]);
+  EXPECT_EQ(comps.id[3], comps.id[4]);
+  EXPECT_NE(comps.id[0], comps.id[3]);
+  EXPECT_NE(comps.id[3], comps.id[5]);
+}
+
+TEST(Traversal, IsConnected) {
+  EXPECT_TRUE(is_connected(path_graph(10)));
+  EXPECT_TRUE(is_connected(GraphBuilder(0).build()));
+  EXPECT_FALSE(is_connected(empty_graph(2)));
+}
+
+TEST(Traversal, DiameterKnownFamilies) {
+  EXPECT_EQ(diameter(path_graph(7)), 6u);
+  EXPECT_EQ(diameter(cycle_graph(8)), 4u);
+  EXPECT_EQ(diameter(complete_graph(5)), 1u);
+  EXPECT_EQ(diameter(star_graph(6)), 2u);
+  EXPECT_EQ(diameter(empty_graph(2)), kUnreachable);
+}
+
+}  // namespace
+}  // namespace urn::graph

@@ -1,0 +1,139 @@
+// Tests for graph serialization (edge list + DOT).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "support/rng.hpp"
+
+namespace urn::graph {
+namespace {
+
+TEST(EdgeList, RoundTripSmall) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 3);
+  const Graph g = b.build();
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_nodes(), 4u);
+  EXPECT_EQ(h.num_edges(), 3u);
+  EXPECT_TRUE(h.has_edge(0, 1));
+  EXPECT_TRUE(h.has_edge(1, 2));
+  EXPECT_TRUE(h.has_edge(0, 3));
+  EXPECT_FALSE(h.has_edge(2, 3));
+}
+
+TEST(EdgeList, RoundTripRandomUdg) {
+  Rng rng(1);
+  const auto net = random_udg(120, 7.0, 1.3, rng);
+  std::stringstream ss;
+  write_edge_list(ss, net.graph);
+  const Graph h = read_edge_list(ss);
+  ASSERT_EQ(h.num_nodes(), net.graph.num_nodes());
+  ASSERT_EQ(h.num_edges(), net.graph.num_edges());
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    const auto a = net.graph.neighbors(v);
+    const auto b = h.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(EdgeList, EdgelessGraph) {
+  std::stringstream ss;
+  write_edge_list(ss, empty_graph(5));
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_nodes(), 5u);
+  EXPECT_EQ(h.num_edges(), 0u);
+}
+
+TEST(EdgeList, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss("# header\n\nnodes 3\n0 1  # inline comment\n\n1 2\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeList, MissingHeaderRejected) {
+  std::stringstream ss("0 1\n");
+  EXPECT_THROW((void)read_edge_list(ss), CheckError);
+}
+
+TEST(EdgeList, OutOfRangeEndpointRejected) {
+  std::stringstream ss("nodes 2\n0 5\n");
+  EXPECT_THROW((void)read_edge_list(ss), CheckError);
+}
+
+TEST(EdgeList, MalformedEdgeRejected) {
+  std::stringstream ss("nodes 2\n0\n");
+  EXPECT_THROW((void)read_edge_list(ss), CheckError);
+}
+
+TEST(EdgeList, DuplicateNodesLineRejected) {
+  std::stringstream ss("nodes 2\nnodes 3\n");
+  EXPECT_THROW((void)read_edge_list(ss), CheckError);
+}
+
+TEST(EdgeList, FileRoundTrip) {
+  Rng rng(2);
+  const auto net = random_udg(40, 5.0, 1.3, rng);
+  const std::string path = "/tmp/urn_test_graph.edges";
+  save_edge_list(path, net.graph);
+  const Graph h = load_edge_list(path);
+  EXPECT_EQ(h.num_edges(), net.graph.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeList, MissingFileRejected) {
+  EXPECT_THROW((void)load_edge_list("/nonexistent/urn.edges"), CheckError);
+}
+
+TEST(Dot, PlainExportContainsNodesAndEdges) {
+  const Graph g = path_graph(3);
+  std::stringstream ss;
+  write_dot(ss, g);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("graph urn {"), std::string::npos);
+  EXPECT_NE(out.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(out.find("n1 -- n2"), std::string::npos);
+  EXPECT_EQ(out.find("n0 -- n2"), std::string::npos);
+}
+
+TEST(Dot, ColoringLabelsAndFill) {
+  const Graph g = path_graph(2);
+  const std::vector<Color> colors = {0, 7};
+  DotOptions opts;
+  opts.colors = &colors;
+  std::stringstream ss;
+  write_dot(ss, g, opts);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("label=\"0:0\""), std::string::npos);
+  EXPECT_NE(out.find("label=\"1:7\""), std::string::npos);
+  EXPECT_NE(out.find("fillcolor"), std::string::npos);
+}
+
+TEST(Dot, PositionsPinned) {
+  const Graph g = path_graph(2);
+  const std::vector<geom::Vec2> pos = {{0.0, 0.0}, {1.5, 2.0}};
+  DotOptions opts;
+  opts.positions = &pos;
+  std::stringstream ss;
+  write_dot(ss, g, opts);
+  EXPECT_NE(ss.str().find("pos=\"1.5,2!\""), std::string::npos);
+}
+
+TEST(Dot, SizeMismatchRejected) {
+  const Graph g = path_graph(3);
+  const std::vector<Color> colors = {0, 1};  // wrong size
+  DotOptions opts;
+  opts.colors = &colors;
+  std::stringstream ss;
+  EXPECT_THROW(write_dot(ss, g, opts), CheckError);
+}
+
+}  // namespace
+}  // namespace urn::graph

@@ -1,0 +1,70 @@
+// Tests for the ASCII histogram.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/histogram.hpp"
+#include "support/check.hpp"
+
+namespace urn::analysis {
+namespace {
+
+TEST(Histogram, BinsCoverRangeAndCountAll) {
+  const std::vector<double> values = {0.0, 1.0, 2.0, 3.0, 4.0,
+                                      5.0, 6.0, 7.0, 8.0, 10.0};
+  const Histogram h(values, 5);
+  EXPECT_EQ(h.num_bins(), 5u);
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < h.num_bins(); ++b) total += h.count(b);
+  EXPECT_EQ(total, values.size());
+  EXPECT_EQ(h.total(), values.size());
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(Histogram, MaximumLandsInLastBin) {
+  const Histogram h({0.0, 10.0}, 4);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, UniformValuesDegenerate) {
+  const Histogram h({5.0, 5.0, 5.0}, 3);
+  EXPECT_EQ(h.count(0), 3u);  // all in the first (widened) bin
+}
+
+TEST(Histogram, SingleBin) {
+  const Histogram h({1.0, 2.0, 3.0}, 1);
+  EXPECT_EQ(h.count(0), 3u);
+}
+
+TEST(Histogram, EmptyValuesRejected) {
+  EXPECT_THROW(Histogram({}, 3), CheckError);
+}
+
+TEST(Histogram, ZeroBinsRejected) {
+  EXPECT_THROW(Histogram({1.0}, 0), CheckError);
+}
+
+TEST(Histogram, PrintProducesBars) {
+  const Histogram h({0.0, 0.1, 0.2, 9.9}, 2);
+  std::ostringstream os;
+  h.print(os, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("##########"), std::string::npos);  // peak bin
+  EXPECT_NE(out.find(" 3"), std::string::npos);
+  EXPECT_NE(out.find(" 1"), std::string::npos);
+}
+
+TEST(Histogram, RenderFromSamples) {
+  Samples s;
+  for (int i = 0; i < 100; ++i) s.add(static_cast<double>(i));
+  const std::string out = Histogram::render(s, 4, 20);
+  EXPECT_FALSE(out.empty());
+  // Four roughly equal bins of 25 each.
+  EXPECT_NE(out.find(" 25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace urn::analysis

@@ -1,0 +1,66 @@
+// Tests for the random-ID scheme (Sect. 2): IDs drawn from [1, n³] with
+// pairwise collision probability O(1/n).
+
+#include <gtest/gtest.h>
+
+#include "support/ids.hpp"
+#include "support/rng.hpp"
+
+namespace urn {
+namespace {
+
+TEST(Ids, RangeRespected) {
+  Rng rng(1);
+  const std::size_t n = 50;
+  const auto ids = random_ids(n, rng);
+  EXPECT_EQ(ids.size(), n);
+  for (auto id : ids) {
+    EXPECT_GE(id, 1u);
+    EXPECT_LE(id, static_cast<std::uint64_t>(n) * n * n);
+  }
+}
+
+TEST(Ids, SingleNode) {
+  Rng rng(2);
+  const auto ids = random_ids(1, rng);
+  EXPECT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 1u);  // range [1, 1]
+}
+
+TEST(Ids, CollisionCounting) {
+  EXPECT_EQ(count_id_collisions({1, 2, 3}), 0u);
+  EXPECT_EQ(count_id_collisions({1, 2, 2}), 1u);
+  EXPECT_EQ(count_id_collisions({5, 5, 5}), 2u);
+  EXPECT_EQ(count_id_collisions({}), 0u);
+}
+
+TEST(Ids, BoundFormula) {
+  EXPECT_DOUBLE_EQ(id_collision_bound(0), 0.0);
+  EXPECT_DOUBLE_EQ(id_collision_bound(1), 0.0);
+  // C(2,2)... C(n,2)/n³ with n=2: 1/8.
+  EXPECT_DOUBLE_EQ(id_collision_bound(2), 1.0 / 8.0);
+  EXPECT_LE(id_collision_bound(100), 1.0 / (2 * 100.0) + 1e-12);
+}
+
+TEST(Ids, EmpiricalCollisionRateWithinBound) {
+  // The paper: P(ambiguous IDs) <= C(n,2)/n^3 in O(1/n).  Over many
+  // assignments the observed collision frequency must respect ~3x the
+  // bound (it is an exact expectation here, so slack is generous).
+  Rng rng(3);
+  const std::size_t n = 64;
+  const int trials = 4000;
+  int with_collision = 0;
+  for (int t = 0; t < trials; ++t) {
+    if (count_id_collisions(random_ids(n, rng)) > 0) ++with_collision;
+  }
+  const double rate = static_cast<double>(with_collision) / trials;
+  EXPECT_LE(rate, 3.0 * id_collision_bound(n));
+}
+
+TEST(Ids, DeterministicInRngState) {
+  Rng a(9), b(9);
+  EXPECT_EQ(random_ids(20, a), random_ids(20, b));
+}
+
+}  // namespace
+}  // namespace urn

@@ -1,0 +1,95 @@
+// Tests for the leader-election / clustering primitive (the protocol's C₀
+// layer used standalone): the leader set must be a maximal independent
+// set and every node must associate with an adjacent leader.
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "graph/independence.hpp"
+#include "radio/wakeup.hpp"
+#include "support/rng.hpp"
+
+namespace urn::core {
+namespace {
+
+class LeaderElection : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeaderElection, LeadersFormMaximalIndependentSet) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 29);
+  const auto net = graph::random_udg(100, 7.0, 1.4, rng);
+  const auto delta = std::max(2u, net.graph.max_closed_degree());
+  const Params p = Params::practical(net.graph.num_nodes(), delta, 5, 12);
+  Rng wrng(static_cast<std::uint64_t>(GetParam()));
+  const auto ws = radio::WakeSchedule::uniform(net.graph.num_nodes(),
+                                               2 * p.threshold(), wrng);
+  const auto result = run_leader_election(
+      net.graph, p, ws, static_cast<std::uint64_t>(GetParam()));
+  ASSERT_TRUE(result.all_covered);
+  EXPECT_TRUE(
+      graph::is_maximal_independent_set(net.graph, result.leaders));
+}
+
+TEST_P(LeaderElection, EveryNonLeaderHasAdjacentLeader) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 71 + 5);
+  const auto net = graph::random_udg(80, 6.0, 1.4, rng);
+  const auto delta = std::max(2u, net.graph.max_closed_degree());
+  const Params p = Params::practical(net.graph.num_nodes(), delta, 5, 12);
+  const auto result = run_leader_election(
+      net.graph, p,
+      radio::WakeSchedule::synchronous(net.graph.num_nodes()),
+      static_cast<std::uint64_t>(GetParam()) + 100);
+  ASSERT_TRUE(result.all_covered);
+  std::vector<bool> is_leader(net.graph.num_nodes(), false);
+  for (graph::NodeId v : result.leaders) is_leader[v] = true;
+  for (graph::NodeId v = 0; v < net.graph.num_nodes(); ++v) {
+    if (is_leader[v]) continue;
+    const graph::NodeId ell = result.leader_of[v];
+    ASSERT_NE(ell, graph::kInvalidNode) << "node " << v;
+    EXPECT_TRUE(net.graph.has_edge(v, ell)) << "node " << v;
+    EXPECT_TRUE(is_leader[ell]) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeaderElection, ::testing::Range(0, 5));
+
+TEST(LeaderElection, CoverLatencyIsBoundedAndNonNegative) {
+  Rng rng(404);
+  const auto net = graph::random_udg(60, 5.5, 1.4, rng);
+  const auto delta = std::max(2u, net.graph.max_closed_degree());
+  const Params p = Params::practical(net.graph.num_nodes(), delta, 5, 12);
+  const auto result = run_leader_election(
+      net.graph, p,
+      radio::WakeSchedule::synchronous(net.graph.num_nodes()), 3);
+  ASSERT_TRUE(result.all_covered);
+  for (radio::Slot t : result.cover_latency) {
+    EXPECT_GE(t, 0);
+    // Leader election is the A₀ stage only: it must finish well within
+    // a handful of threshold periods.
+    EXPECT_LE(t, 10 * p.threshold());
+  }
+}
+
+TEST(LeaderElection, StopsEarlyComparedToFullColoring) {
+  Rng rng(405);
+  const auto net = graph::random_udg(80, 6.0, 1.4, rng);
+  const auto delta = std::max(2u, net.graph.max_closed_degree());
+  const Params p = Params::practical(net.graph.num_nodes(), delta, 5, 12);
+  const auto ws = radio::WakeSchedule::synchronous(net.graph.num_nodes());
+  const auto election = run_leader_election(net.graph, p, ws, 7);
+  const auto full = run_coloring(net.graph, p, ws, 7);
+  ASSERT_TRUE(election.all_covered);
+  ASSERT_TRUE(full.all_decided);
+  EXPECT_LT(election.medium.slots_run, full.medium.slots_run);
+}
+
+TEST(LeaderElection, IsolatedNodesAllBecomeLeaders) {
+  const Params p = Params::practical(16, 2, 2, 3);
+  const auto result = run_leader_election(
+      graph::empty_graph(4), p, radio::WakeSchedule::synchronous(4), 1);
+  ASSERT_TRUE(result.all_covered);
+  EXPECT_EQ(result.leaders.size(), 4u);
+}
+
+}  // namespace
+}  // namespace urn::core

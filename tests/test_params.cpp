@@ -1,0 +1,132 @@
+// Tests for the protocol parameter set: derived quantities, the paper's
+// analytical constants, validation, and the color-range arithmetic that
+// Lemma 5 / Corollary 1 rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/params.hpp"
+#include "support/check.hpp"
+#include "support/mathutil.hpp"
+
+namespace urn::core {
+namespace {
+
+TEST(Params, PracticalValidates) {
+  const Params p = Params::practical(256, 16, 5, 12);
+  EXPECT_EQ(p.n, 256u);
+  EXPECT_EQ(p.delta, 16u);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Params, PracticalConstantsScaleWithKappa2) {
+  const Params small = Params::practical(256, 16, 5, 6);
+  const Params large = Params::practical(256, 16, 5, 12);
+  EXPECT_NEAR(large.alpha / small.alpha, 2.0, 1e-9);
+  EXPECT_NEAR(large.sigma / small.sigma, 2.0, 1e-9);
+}
+
+TEST(Params, DerivedQuantitiesMatchFormulas) {
+  const Params p = Params::practical(1000, 20, 5, 10);
+  const double logn = std::log(1000.0);
+  EXPECT_EQ(p.passive_slots(),
+            static_cast<std::int64_t>(std::ceil(p.alpha * 20 * logn)));
+  EXPECT_EQ(p.threshold(),
+            static_cast<std::int64_t>(std::ceil(p.sigma * 20 * logn)));
+  EXPECT_EQ(p.assign_window(),
+            static_cast<std::int64_t>(std::ceil(p.beta * logn)));
+}
+
+TEST(Params, CriticalRangeUsesZeta) {
+  // ζ₀ = 1, ζ_i = Δ for i > 0 (Algorithm 1, line 2).
+  const Params p = Params::practical(1000, 20, 5, 10);
+  EXPECT_EQ(p.critical_range(0), ceil_mul_log(p.gamma, 1000));
+  EXPECT_EQ(p.critical_range(1), ceil_mul_log(p.gamma * 20, 1000));
+  EXPECT_EQ(p.critical_range(7), p.critical_range(1));
+}
+
+TEST(Params, SendProbabilities) {
+  const Params p = Params::practical(100, 25, 4, 10);
+  EXPECT_DOUBLE_EQ(p.p_active(), 1.0 / 250.0);
+  EXPECT_DOUBLE_EQ(p.p_leader(), 1.0 / 10.0);
+}
+
+TEST(Params, FirstVerifyColorSpacing) {
+  const Params p = Params::practical(100, 10, 4, 7);
+  EXPECT_EQ(p.first_verify_color(0), 0);
+  EXPECT_EQ(p.first_verify_color(1), 8);
+  EXPECT_EQ(p.first_verify_color(2), 16);
+}
+
+// Lemma 5 / Corollary 1: the color range of intra-cluster color tc,
+// [tc(κ₂+1), tc(κ₂+1)+κ₂], never overlaps the next tc's range.
+TEST(Params, TcColorRangesAreDisjoint) {
+  const Params p = Params::practical(100, 10, 4, 9);
+  for (std::int32_t tc = 0; tc < 50; ++tc) {
+    const std::int32_t hi = p.first_verify_color(tc) +
+                            static_cast<std::int32_t>(p.kappa2);
+    EXPECT_LT(hi, p.first_verify_color(tc + 1));
+  }
+}
+
+TEST(Params, AnalyticalMatchesPaperFormulas) {
+  const std::uint32_t k1 = 5, k2 = 18, delta = 30;
+  const Params p = Params::analytical(500, delta, k1, k2);
+  const double inv_e = 1.0 / std::exp(1.0);
+  const double t1 = std::pow(inv_e * (1.0 - 1.0 / 18.0), 5.0 / 18.0);
+  const double t2 = std::pow(inv_e * (1.0 - 1.0 / (18.0 * 30.0)), 1.0 / 18.0);
+  EXPECT_NEAR(p.gamma, 5.0 * 18.0 / (t1 * t2), 1e-9);
+  EXPECT_NEAR(p.sigma,
+              10.0 * std::exp(2.0) * 18.0 /
+                  ((1.0 - 1.0 / 18.0) * (1.0 - 1.0 / (18.0 * 30.0))),
+              1e-9);
+  // Constraints used in the proofs.
+  EXPECT_GT(p.alpha, 2.0 * p.gamma * 18.0 + p.sigma + 1.0);  // Lemma 7
+  EXPECT_GE(p.beta, p.gamma);                                // Lemma 8
+  EXPECT_GT(p.sigma, 2.0 * p.gamma);                         // Theorem 2
+}
+
+TEST(Params, AnalyticalDominatesPractical) {
+  const Params a = Params::analytical(500, 30, 5, 18);
+  const Params pr = Params::practical(500, 30, 5, 18);
+  EXPECT_GT(a.alpha, pr.alpha);
+  EXPECT_GT(a.gamma, pr.gamma);
+  EXPECT_GT(a.sigma, pr.sigma);
+}
+
+TEST(Params, ScaledMultipliesAllConstants) {
+  const Params p = Params::practical(100, 10, 4, 8);
+  const Params s = p.scaled(0.5);
+  EXPECT_DOUBLE_EQ(s.alpha, p.alpha * 0.5);
+  EXPECT_DOUBLE_EQ(s.beta, p.beta * 0.5);
+  EXPECT_DOUBLE_EQ(s.gamma, p.gamma * 0.5);
+  EXPECT_DOUBLE_EQ(s.sigma, p.sigma * 0.5);
+  EXPECT_EQ(s.n, p.n);
+  EXPECT_EQ(s.delta, p.delta);
+}
+
+TEST(Params, ScaledRejectsNonPositive) {
+  const Params p = Params::practical(100, 10, 4, 8);
+  EXPECT_THROW((void)p.scaled(0.0), CheckError);
+  EXPECT_THROW((void)p.scaled(-1.0), CheckError);
+}
+
+TEST(Params, ValidationRejectsDegenerateInputs) {
+  EXPECT_THROW((void)Params::practical(1, 10, 4, 8), CheckError);   // n
+  EXPECT_THROW((void)Params::practical(100, 1, 4, 8), CheckError);  // delta
+  EXPECT_THROW((void)Params::practical(100, 10, 4, 1), CheckError); // kappa2
+  EXPECT_THROW((void)Params::practical(100, 10, 9, 8), CheckError); // k1 > k2
+  EXPECT_THROW((void)Params::practical(100, 10, 0, 8), CheckError); // k1 = 0
+}
+
+TEST(Params, ThresholdGrowsWithDeltaAndN) {
+  const Params base = Params::practical(256, 16, 5, 10);
+  const Params more_delta = Params::practical(256, 32, 5, 10);
+  const Params more_n = Params::practical(65536, 16, 5, 10);
+  EXPECT_GT(more_delta.threshold(), base.threshold());
+  EXPECT_GT(more_n.threshold(), base.threshold());
+}
+
+}  // namespace
+}  // namespace urn::core

@@ -1,0 +1,149 @@
+// Verifies, over full protocol executions, that every node's recorded
+// state-transition history is a legal walk of the paper's state diagram
+// (Fig. 2):
+//
+//   Z → A₀;  A₀ → C₀ | R;  R → A_{tc(κ₂+1)};
+//   A_i → C_i | A_{i+1}   (i > 0, same tc range per Corollary 1);
+//   C_i terminal.
+
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "radio/engine.hpp"
+#include "support/rng.hpp"
+
+namespace urn::core {
+namespace {
+
+struct TraceRun {
+  graph::Graph graph;
+  Params params;
+  std::vector<std::vector<Transition>> traces;
+  std::vector<std::int32_t> tc;
+  bool all_decided = false;
+};
+
+TraceRun execute(std::uint64_t seed) {
+  TraceRun out;
+  Rng rng(seed);
+  auto net = graph::random_udg(90, 6.5, 1.4, rng);
+  out.graph = std::move(net.graph);
+  const auto delta = std::max(2u, out.graph.max_closed_degree());
+  out.params = Params::practical(out.graph.num_nodes(), delta, 5, 12);
+
+  std::vector<ColoringNode> nodes;
+  for (graph::NodeId v = 0; v < out.graph.num_nodes(); ++v) {
+    nodes.emplace_back(&out.params, v);
+  }
+  Rng wrng(mix_seed(seed, 5));
+  radio::Engine<ColoringNode> engine(
+      out.graph,
+      radio::WakeSchedule::uniform(out.graph.num_nodes(),
+                                   2 * out.params.threshold(), wrng),
+      std::move(nodes), seed);
+  const auto stats = engine.run(default_slot_budget(
+      out.params, engine.schedule()));
+  out.all_decided = stats.all_decided;
+  for (graph::NodeId v = 0; v < out.graph.num_nodes(); ++v) {
+    out.traces.push_back(engine.node(v).transitions());
+    out.tc.push_back(engine.node(v).intra_cluster_color());
+  }
+  return out;
+}
+
+class TraceLegality : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceLegality, EveryNodeWalksFig2) {
+  const TraceRun run = execute(static_cast<std::uint64_t>(GetParam()) + 71);
+  ASSERT_TRUE(run.all_decided);
+
+  for (graph::NodeId v = 0; v < run.graph.num_nodes(); ++v) {
+    const auto& trace = run.traces[v];
+    ASSERT_GE(trace.size(), 2u) << "node " << v;
+
+    // First state after waking: A_0.
+    EXPECT_EQ(trace.front().phase, Phase::kVerify);
+    EXPECT_EQ(trace.front().color_index, 0);
+    // Last state: some C_i (the run decided).
+    EXPECT_EQ(trace.back().phase, Phase::kDecided);
+
+    for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+      const Transition& a = trace[i];
+      const Transition& b = trace[i + 1];
+      EXPECT_LE(a.slot, b.slot) << "node " << v << " step " << i;
+      ASSERT_NE(a.phase, Phase::kDecided)
+          << "node " << v << ": C_i must be terminal";
+
+      if (a.phase == Phase::kVerify && a.color_index == 0) {
+        // A₀ → C₀ or A₀ → R.
+        const bool to_leader =
+            b.phase == Phase::kDecided && b.color_index == 0;
+        const bool to_request = b.phase == Phase::kRequest;
+        EXPECT_TRUE(to_leader || to_request) << "node " << v;
+      } else if (a.phase == Phase::kRequest) {
+        // R → A_{tc(κ₂+1)} with tc ≥ 1.
+        ASSERT_EQ(b.phase, Phase::kVerify) << "node " << v;
+        EXPECT_GT(b.color_index, 0);
+        EXPECT_EQ(b.color_index %
+                      (static_cast<std::int32_t>(run.params.kappa2) + 1),
+                  0)
+            << "node " << v << ": first verify color must be tc*(k2+1)";
+      } else {
+        // A_i (i>0) → C_i or A_{i+1}.
+        ASSERT_EQ(a.phase, Phase::kVerify);
+        if (b.phase == Phase::kDecided) {
+          EXPECT_EQ(b.color_index, a.color_index) << "node " << v;
+        } else {
+          ASSERT_EQ(b.phase, Phase::kVerify) << "node " << v;
+          EXPECT_EQ(b.color_index, a.color_index + 1) << "node " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(TraceLegality, VerifyStatesStayInTcRange) {
+  // Corollary 1: a node with intra-cluster color tc only ever verifies
+  // colors in [tc(κ₂+1), tc(κ₂+1)+κ₂] (whp; we assert it on these runs).
+  const TraceRun run = execute(static_cast<std::uint64_t>(GetParam()) + 171);
+  ASSERT_TRUE(run.all_decided);
+  const auto k2 = static_cast<std::int32_t>(run.params.kappa2);
+  for (graph::NodeId v = 0; v < run.graph.num_nodes(); ++v) {
+    const std::int32_t tc = run.tc[v];
+    if (tc < 0) continue;  // leader: never left A_0
+    const std::int32_t lo = tc * (k2 + 1);
+    for (const Transition& t : run.traces[v]) {
+      if (t.phase == Phase::kVerify && t.color_index > 0) {
+        EXPECT_GE(t.color_index, lo) << "node " << v;
+        EXPECT_LE(t.color_index, lo + k2) << "node " << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceLegality, ::testing::Range(0, 4));
+
+TEST(TraceLegality, LeaderTraceIsMinimal) {
+  // An isolated node: A₀ → C₀, exactly two records.
+  const Params p = Params::practical(16, 2, 2, 3);
+  const graph::Graph g = graph::empty_graph(1);
+  const auto run = run_coloring(g, p, radio::WakeSchedule::synchronous(1), 1);
+  ASSERT_TRUE(run.all_decided);
+  // Re-run through the engine to access the node (run_coloring discards it).
+  std::vector<ColoringNode> nodes;
+  nodes.emplace_back(&p, 0);
+  radio::Engine<ColoringNode> eng(g, radio::WakeSchedule::synchronous(1),
+                                  std::move(nodes), 1);
+  (void)eng.run(10 * p.threshold());
+  const auto& trace = eng.node(0).transitions();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].phase, Phase::kVerify);
+  EXPECT_EQ(trace[1].phase, Phase::kDecided);
+  EXPECT_EQ(trace[1].color_index, 0);
+}
+
+}  // namespace
+}  // namespace urn::core

@@ -1,0 +1,289 @@
+// Tests for the radio substrate: the exact collision semantics of the
+// unstructured radio network model (Sect. 2) and the wake-up schedules.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "radio/engine.hpp"
+#include "radio/message.hpp"
+#include "radio/wakeup.hpp"
+#include "support/rng.hpp"
+
+namespace urn::radio {
+namespace {
+
+/// Scripted protocol: transmits in the slots listed in `tx_slots` and
+/// records everything it receives.  `decided()` is controlled explicitly.
+struct ScriptNode {
+  NodeId id = graph::kInvalidNode;
+  std::vector<Slot> tx_slots;  // global slot indices
+  std::vector<std::pair<Slot, Message>> received;
+  Slot wake_at = -1;
+  bool done = false;
+
+  void on_wake(SlotContext& ctx) { wake_at = ctx.now; }
+
+  std::optional<Message> on_slot(SlotContext& ctx) {
+    if (std::find(tx_slots.begin(), tx_slots.end(), ctx.now) !=
+        tx_slots.end()) {
+      return make_decided(id, static_cast<std::int32_t>(ctx.now));
+    }
+    return std::nullopt;
+  }
+
+  void on_receive(SlotContext& ctx, const Message& msg) {
+    received.emplace_back(ctx.now, msg);
+  }
+
+  [[nodiscard]] bool decided() const { return done; }
+};
+
+static_assert(NodeProtocol<ScriptNode>);
+
+/// Builds an engine over `g` with the given transmit scripts (one vector of
+/// slots per node), all awake at slot 0.
+Engine<ScriptNode> scripted(const graph::Graph& g,
+                            std::vector<std::vector<Slot>> scripts,
+                            WakeSchedule schedule) {
+  std::vector<ScriptNode> nodes(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    nodes[v].id = v;
+    nodes[v].tx_slots = scripts[v];
+  }
+  return Engine<ScriptNode>(g, std::move(schedule), std::move(nodes), 1);
+}
+
+// ------------------------------------------------- collision semantics ----
+
+TEST(Medium, SingleTransmitterReachesAllNeighbors) {
+  const graph::Graph g = graph::star_graph(4);  // hub 0
+  auto eng = scripted(g, {{0}, {}, {}, {}}, WakeSchedule::synchronous(4));
+  eng.step();
+  for (NodeId v = 1; v < 4; ++v) {
+    ASSERT_EQ(eng.node(v).received.size(), 1u);
+    EXPECT_EQ(eng.node(v).received[0].second.sender, 0u);
+  }
+  EXPECT_EQ(eng.stats().transmissions, 1u);
+  EXPECT_EQ(eng.stats().deliveries, 3u);
+  EXPECT_EQ(eng.stats().collisions, 0u);
+}
+
+TEST(Medium, TwoTransmittersCollideAtCommonNeighbor) {
+  // Path 0-1-2: 0 and 2 transmit; 1 hears nothing (collision).
+  const graph::Graph g = graph::path_graph(3);
+  auto eng = scripted(g, {{0}, {}, {0}}, WakeSchedule::synchronous(3));
+  eng.step();
+  EXPECT_TRUE(eng.node(1).received.empty());
+  EXPECT_EQ(eng.stats().collisions, 1u);
+  EXPECT_EQ(eng.stats().deliveries, 0u);
+}
+
+TEST(Medium, HiddenTerminalDeliversToExclusiveNeighbors) {
+  // Path 0-1-2-3-4: transmitters 1 and 3. Node 2 collides; nodes 0 and 4
+  // each hear their only transmitting neighbor.
+  const graph::Graph g = graph::path_graph(5);
+  auto eng = scripted(g, {{}, {0}, {}, {0}, {}}, WakeSchedule::synchronous(5));
+  eng.step();
+  EXPECT_EQ(eng.node(0).received.size(), 1u);
+  EXPECT_EQ(eng.node(0).received[0].second.sender, 1u);
+  EXPECT_TRUE(eng.node(2).received.empty());
+  EXPECT_EQ(eng.node(4).received.size(), 1u);
+  EXPECT_EQ(eng.node(4).received[0].second.sender, 3u);
+  EXPECT_EQ(eng.stats().collisions, 1u);
+  EXPECT_EQ(eng.stats().deliveries, 2u);
+}
+
+TEST(Medium, TransmitterCannotReceive) {
+  // Edge 0-1, both transmit in the same slot: neither receives.
+  const graph::Graph g = graph::path_graph(2);
+  auto eng = scripted(g, {{0}, {0}}, WakeSchedule::synchronous(2));
+  eng.step();
+  EXPECT_TRUE(eng.node(0).received.empty());
+  EXPECT_TRUE(eng.node(1).received.empty());
+  EXPECT_EQ(eng.stats().collisions, 0u);  // busy senders, not collisions
+}
+
+TEST(Medium, TransmitterMissesIncomingMessage) {
+  // Path 0-1: 0 transmits in slot 0 and 1 transmits in slot 0 — covered
+  // above. Here: 1 transmits in the same slot that 0 addresses it.
+  const graph::Graph g = graph::path_graph(3);
+  // Slot 0: node 0 and node 1 transmit. Node 1 busy → misses 0's message;
+  // node 2 hears node 1.
+  auto eng = scripted(g, {{0}, {0}, {}}, WakeSchedule::synchronous(3));
+  eng.step();
+  EXPECT_TRUE(eng.node(1).received.empty());
+  ASSERT_EQ(eng.node(2).received.size(), 1u);
+  EXPECT_EQ(eng.node(2).received[0].second.sender, 1u);
+}
+
+TEST(Medium, NonNeighborsCannotInterfere) {
+  // Two disjoint edges: 0-1 and 2-3. 0 and 2 transmit simultaneously.
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const graph::Graph g = b.build();
+  auto eng = scripted(g, {{0}, {}, {0}, {}}, WakeSchedule::synchronous(4));
+  eng.step();
+  EXPECT_EQ(eng.node(1).received.size(), 1u);
+  EXPECT_EQ(eng.node(3).received.size(), 1u);
+  EXPECT_EQ(eng.stats().collisions, 0u);
+}
+
+TEST(Medium, SleepingNodesNeitherReceiveNorInterfere) {
+  // Path 0-1: node 1 wakes at slot 5; node 0 transmits at slot 0 (missed)
+  // and at slot 6 (heard).
+  const graph::Graph g = graph::path_graph(2);
+  auto eng = scripted(g, {{0, 6}, {}},
+                      WakeSchedule(std::vector<Slot>{0, 5}));
+  for (int i = 0; i < 8; ++i) eng.step();
+  ASSERT_EQ(eng.node(1).received.size(), 1u);
+  EXPECT_EQ(eng.node(1).received[0].first, 6);
+  EXPECT_EQ(eng.node(1).wake_at, 5);
+}
+
+TEST(Medium, ThreeTransmittersStillCollide) {
+  const graph::Graph g = graph::star_graph(4);
+  auto eng =
+      scripted(g, {{}, {0}, {0}, {0}}, WakeSchedule::synchronous(4));
+  eng.step();
+  EXPECT_TRUE(eng.node(0).received.empty());
+  EXPECT_EQ(eng.stats().collisions, 1u);
+}
+
+TEST(Medium, MessagePayloadSurvivesDelivery) {
+  const graph::Graph g = graph::path_graph(2);
+  std::vector<ScriptNode> nodes(2);
+  nodes[0].id = 0;
+  nodes[1].id = 1;
+  nodes[0].tx_slots = {3};
+  auto eng = Engine<ScriptNode>(g, WakeSchedule::synchronous(2),
+                                std::move(nodes), 1);
+  for (int i = 0; i < 4; ++i) eng.step();
+  ASSERT_EQ(eng.node(1).received.size(), 1u);
+  const Message& m = eng.node(1).received[0].second;
+  EXPECT_EQ(m.type, MsgType::kDecided);
+  EXPECT_EQ(m.color_index, 3);  // ScriptNode encodes the slot here
+}
+
+// ------------------------------------------------------ decision timing ---
+
+TEST(Engine, DecisionSlotAndLatencyTracked) {
+  const graph::Graph g = graph::empty_graph(1);
+  std::vector<ScriptNode> nodes(1);
+  nodes[0].id = 0;
+  auto eng = Engine<ScriptNode>(g, WakeSchedule(std::vector<Slot>{2}),
+                                std::move(nodes), 1);
+  eng.step();  // slot 0: asleep
+  eng.step();  // slot 1: asleep
+  eng.step();  // slot 2: awake, not decided
+  EXPECT_EQ(eng.decision_slot(0), Engine<ScriptNode>::kUndecided);
+  eng.node(0).done = true;
+  eng.step();  // slot 3: decided
+  EXPECT_EQ(eng.decision_slot(0), 3);
+  EXPECT_EQ(eng.decision_latency(0), 1);
+  EXPECT_TRUE(eng.all_decided());
+}
+
+TEST(Engine, RunStopsWhenAllDecided) {
+  const graph::Graph g = graph::empty_graph(2);
+  std::vector<ScriptNode> nodes(2);
+  nodes[0].id = 0;
+  nodes[1].id = 1;
+  nodes[0].done = true;
+  nodes[1].done = true;
+  auto eng = Engine<ScriptNode>(g, WakeSchedule::synchronous(2),
+                                std::move(nodes), 1);
+  const RunStats stats = eng.run(1000);
+  EXPECT_TRUE(stats.all_decided);
+  EXPECT_EQ(stats.slots_run, 1);
+}
+
+TEST(Engine, RunHitsSlotCapWhenUndecided) {
+  const graph::Graph g = graph::empty_graph(1);
+  std::vector<ScriptNode> nodes(1);
+  nodes[0].id = 0;
+  auto eng = Engine<ScriptNode>(g, WakeSchedule::synchronous(1),
+                                std::move(nodes), 1);
+  const RunStats stats = eng.run(25);
+  EXPECT_FALSE(stats.all_decided);
+  EXPECT_EQ(stats.slots_run, 25);
+}
+
+TEST(Engine, NotAllDecidedWhileSomeoneSleeps) {
+  const graph::Graph g = graph::empty_graph(2);
+  std::vector<ScriptNode> nodes(2);
+  nodes[0].id = 0;
+  nodes[1].id = 1;
+  nodes[0].done = true;
+  nodes[1].done = true;
+  auto eng = Engine<ScriptNode>(g, WakeSchedule(std::vector<Slot>{0, 50}),
+                                std::move(nodes), 1);
+  eng.step();
+  EXPECT_FALSE(eng.all_decided());  // node 1 still asleep
+}
+
+// -------------------------------------------------------- wake schedules --
+
+TEST(Wakeup, SynchronousAllZero) {
+  const auto ws = WakeSchedule::synchronous(5);
+  EXPECT_EQ(ws.size(), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(ws.wake_slot(v), 0);
+  EXPECT_EQ(ws.latest(), 0);
+}
+
+TEST(Wakeup, UniformWithinWindow) {
+  Rng rng(31);
+  const auto ws = WakeSchedule::uniform(200, 100, rng);
+  for (NodeId v = 0; v < 200; ++v) {
+    EXPECT_GE(ws.wake_slot(v), 0);
+    EXPECT_LE(ws.wake_slot(v), 100);
+  }
+}
+
+TEST(Wakeup, SequentialHasAllMultiples) {
+  Rng rng(32);
+  const auto ws = WakeSchedule::sequential(10, 7, rng);
+  std::vector<Slot> sorted = ws.slots();
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(sorted[i], static_cast<Slot>(i) * 7);
+  }
+}
+
+TEST(Wakeup, PoissonIsNonDecreasingAfterSort) {
+  Rng rng(33);
+  const auto ws = WakeSchedule::poisson(100, 10.0, rng);
+  EXPECT_EQ(ws.size(), 100u);
+  const double mean_latest = 100 * 10.0;
+  EXPECT_GT(ws.latest(), static_cast<Slot>(mean_latest * 0.5));
+  EXPECT_LT(ws.latest(), static_cast<Slot>(mean_latest * 2.0));
+}
+
+TEST(Wakeup, WavefrontFollowsXCoordinate) {
+  Rng rng(34);
+  const std::vector<geom::Vec2> pos = {{0.0, 0.0}, {5.0, 0.0}, {10.0, 0.0}};
+  const auto ws = WakeSchedule::wavefront(pos, 100.0, 0, rng);
+  EXPECT_EQ(ws.wake_slot(0), 0);
+  EXPECT_EQ(ws.wake_slot(1), 500);
+  EXPECT_EQ(ws.wake_slot(2), 1000);
+}
+
+TEST(Wakeup, StagedUsesBurstSlots) {
+  Rng rng(35);
+  const auto ws = WakeSchedule::staged(300, 4, 1000, rng);
+  for (NodeId v = 0; v < 300; ++v) {
+    EXPECT_EQ(ws.wake_slot(v) % 1000, 0);
+    EXPECT_LE(ws.wake_slot(v), 3000);
+  }
+}
+
+TEST(Wakeup, NegativeSlotRejected) {
+  EXPECT_THROW(WakeSchedule(std::vector<Slot>{0, -1}), CheckError);
+}
+
+}  // namespace
+}  // namespace urn::radio

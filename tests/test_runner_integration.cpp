@@ -1,0 +1,249 @@
+// Integration tests: full protocol executions across graph families, seeds
+// and wake-up patterns, checking the paper's guarantees end to end —
+// correctness & completeness (Thm 2/5), the color bound κ₂Δ (Thm 5),
+// leader independence (Thm 2 for C₀), cluster structure (Lemma 5), and
+// locality (Thm 4).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "graph/independence.hpp"
+#include "radio/wakeup.hpp"
+#include "support/rng.hpp"
+
+namespace urn::core {
+namespace {
+
+struct Scenario {
+  std::string name;
+  std::uint64_t seed;
+};
+
+graph::GeometricGraph make_net(const std::string& family,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  if (family == "udg") return graph::random_udg(100, 7.0, 1.4, rng);
+  if (family == "grid") return graph::grid_udg(10, 10, 1.0, 1.3, 0.2, rng);
+  if (family == "clustered") {
+    return graph::clustered_udg(5, 20, 9.0, 0.8, 1.4, rng);
+  }
+  URN_CHECK(false);
+  return {};
+}
+
+struct RunFixture {
+  graph::GeometricGraph net;
+  Params params;
+  RunResult run;
+  std::uint32_t kappa2_measured = 0;
+};
+
+RunFixture execute(const std::string& family, std::uint64_t seed,
+                   const std::string& wake) {
+  RunFixture fx;
+  fx.net = make_net(family, seed);
+  const auto delta = fx.net.graph.max_closed_degree();
+  const auto k1 = graph::kappa1(fx.net.graph).value;
+  const auto k2 = graph::kappa2(fx.net.graph).value;
+  fx.kappa2_measured = k2;
+  fx.params = Params::practical(fx.net.graph.num_nodes(), delta,
+                                std::max(2u, k1), std::max(2u, k2));
+  Rng wrng(mix_seed(seed, 17));
+  radio::WakeSchedule schedule =
+      wake == "sync"
+          ? radio::WakeSchedule::synchronous(fx.net.graph.num_nodes())
+          : radio::WakeSchedule::uniform(fx.net.graph.num_nodes(), 3000,
+                                         wrng);
+  fx.run = run_coloring(fx.net.graph, fx.params, schedule, mix_seed(seed, 3));
+  return fx;
+}
+
+using Case = std::tuple<std::string, std::uint64_t, std::string>;
+
+class EndToEnd : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EndToEnd, ProducesValidBoundedLocalColoring) {
+  const auto& [family, seed, wake] = GetParam();
+  const RunFixture fx = execute(family, seed, wake);
+  const auto& g = fx.net.graph;
+
+  // Completeness within the default budget.
+  ASSERT_TRUE(fx.run.all_decided) << "timed out";
+  // Theorem 2 / 5: correct and complete coloring.
+  EXPECT_TRUE(fx.run.check.correct);
+  EXPECT_TRUE(fx.run.check.complete);
+
+  // Theorem 5: at most κ₂Δ colors — stated with constants absorbed into
+  // O(·).  The exact derivable bound (tc ≤ Δ−1 plus Corollary 1's range)
+  // is Δ(κ₂+1) − 1; duplicate leader serves can add a few more, so we
+  // assert the derivable bound with a κ₂ slack term.
+  EXPECT_LE(fx.run.max_color,
+            static_cast<graph::Color>(fx.params.delta *
+                                          (fx.params.kappa2 + 1) +
+                                      fx.params.kappa2));
+
+  // Theorem 2 for C₀: the leaders form an independent set.
+  std::vector<graph::NodeId> leaders;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (fx.run.colors[v] == 0) leaders.push_back(v);
+  }
+  EXPECT_EQ(leaders.size(), fx.run.num_leaders);
+  EXPECT_TRUE(graph::is_independent_set(g, leaders));
+
+  // Cluster structure: every non-leader's leader is an adjacent leader.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (fx.run.colors[v] == 0) continue;
+    const graph::NodeId ell = fx.run.leader_of[v];
+    ASSERT_NE(ell, graph::kInvalidNode) << "non-leader without leader";
+    EXPECT_TRUE(g.has_edge(v, ell));
+    EXPECT_EQ(fx.run.colors[ell], 0);
+  }
+
+  // Theorem 4 (derivable form): φ_v ≤ (κ₂+1)·θ_v + κ₂ for every node.
+  const LocalityReport loc =
+      check_locality(g, fx.run.colors, fx.params.kappa2);
+  EXPECT_TRUE(loc.holds) << "worst node " << loc.worst << " ratio "
+                         << loc.max_ratio;
+  // And the ratio is O(κ₂) as the theorem states.
+  EXPECT_LE(loc.max_ratio, static_cast<double>(fx.params.kappa2) + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesSeedsWakeups, EndToEnd,
+    ::testing::Values(Case{"udg", 1, "sync"}, Case{"udg", 2, "uniform"},
+                      Case{"udg", 3, "uniform"}, Case{"grid", 4, "sync"},
+                      Case{"grid", 5, "uniform"},
+                      Case{"clustered", 6, "uniform"},
+                      Case{"clustered", 7, "sync"}, Case{"udg", 8, "uniform"}),
+    [](const ::testing::TestParamInfo<Case>& param_info) {
+      return std::get<0>(param_info.param) + "_s" +
+             std::to_string(std::get<1>(param_info.param)) + "_" +
+             std::get<2>(param_info.param);
+    });
+
+// ------------------------------------------------------------ determinism -
+
+TEST(Determinism, SameSeedSameColoring) {
+  Rng rng(50);
+  const auto net = graph::random_udg(80, 6.0, 1.4, rng);
+  const auto delta = net.graph.max_closed_degree();
+  const Params p = Params::practical(net.graph.num_nodes(), delta, 5, 12);
+  const auto ws = radio::WakeSchedule::synchronous(net.graph.num_nodes());
+  const auto r1 = run_coloring(net.graph, p, ws, 99);
+  const auto r2 = run_coloring(net.graph, p, ws, 99);
+  EXPECT_EQ(r1.colors, r2.colors);
+  EXPECT_EQ(r1.medium.slots_run, r2.medium.slots_run);
+  EXPECT_EQ(r1.medium.transmissions, r2.medium.transmissions);
+}
+
+TEST(Determinism, DifferentSeedsDifferentExecution) {
+  Rng rng(51);
+  const auto net = graph::random_udg(80, 6.0, 1.4, rng);
+  const auto delta = net.graph.max_closed_degree();
+  const Params p = Params::practical(net.graph.num_nodes(), delta, 5, 12);
+  const auto ws = radio::WakeSchedule::synchronous(net.graph.num_nodes());
+  const auto r1 = run_coloring(net.graph, p, ws, 1);
+  const auto r2 = run_coloring(net.graph, p, ws, 2);
+  EXPECT_NE(r1.medium.transmissions, r2.medium.transmissions);
+}
+
+// --------------------------------------------------------- wake extremes --
+
+TEST(WakeExtremes, SequentialWakeStillValid) {
+  Rng rng(52);
+  const auto net = graph::random_udg(60, 5.5, 1.4, rng);
+  const auto delta = net.graph.max_closed_degree();
+  const auto k2 = std::max(2u, graph::kappa2(net.graph).value);
+  const auto k1 = std::max(2u, graph::kappa1(net.graph).value);
+  const Params p = Params::practical(net.graph.num_nodes(), delta, k1, k2);
+  // Gap larger than a whole passive phase: the "long waiting periods"
+  // extreme from Sect. 2.
+  Rng wrng(53);
+  const auto ws = radio::WakeSchedule::sequential(
+      net.graph.num_nodes(), p.passive_slots() + 50, wrng);
+  const auto run = run_coloring(net.graph, p, ws, 7);
+  ASSERT_TRUE(run.all_decided);
+  EXPECT_TRUE(run.check.valid());
+}
+
+TEST(WakeExtremes, LatencyIsMeasuredFromOwnWakeup) {
+  // With sequential wake-up, absolute decision slots grow with the wake
+  // index but per-node latency must stay bounded by the same budget.
+  Rng rng(54);
+  const auto net = graph::random_udg(50, 5.0, 1.4, rng);
+  const auto delta = net.graph.max_closed_degree();
+  const Params p = Params::practical(net.graph.num_nodes(), delta, 5, 12);
+  Rng wrng(55);
+  const auto ws =
+      radio::WakeSchedule::sequential(net.graph.num_nodes(), 2000, wrng);
+  const auto run = run_coloring(net.graph, p, ws, 11);
+  ASSERT_TRUE(run.all_decided);
+  for (graph::NodeId v = 0; v < net.graph.num_nodes(); ++v) {
+    EXPECT_GE(run.decision_slot[v], run.wake_slot[v]);
+  }
+}
+
+// ----------------------------------------------------------- slot budget --
+
+TEST(Budget, TooFewSlotsReportsIncomplete) {
+  Rng rng(56);
+  const auto net = graph::random_udg(60, 5.0, 1.4, rng);
+  const auto delta = net.graph.max_closed_degree();
+  const Params p = Params::practical(net.graph.num_nodes(), delta, 5, 12);
+  const auto ws = radio::WakeSchedule::synchronous(net.graph.num_nodes());
+  const auto run = run_coloring(net.graph, p, ws, 1, /*max_slots=*/10);
+  EXPECT_FALSE(run.all_decided);
+  EXPECT_FALSE(run.check.complete);
+  EXPECT_TRUE(run.check.correct);  // nothing decided is never wrong
+}
+
+TEST(Budget, DefaultBudgetCoversTheoryBound) {
+  const Params p = Params::practical(100, 10, 4, 8);
+  const auto ws = radio::WakeSchedule::synchronous(100);
+  const radio::Slot budget = default_slot_budget(p, ws);
+  // Must exceed a κ₂ multiple of the per-state cost.
+  EXPECT_GT(budget, static_cast<radio::Slot>(p.kappa2) *
+                        (p.passive_slots() + p.threshold()));
+}
+
+// ------------------------------------------------------- reset ablation ---
+
+TEST(ResetAblation, NaivePolicyStillTerminatesOnSmallGraph) {
+  // The strawman is *slower* and failure-prone, not necessarily wrong on
+  // easy instances; on a small sparse graph it should still finish.
+  Rng rng(57);
+  const auto net = graph::random_udg(40, 6.0, 1.2, rng);
+  const auto delta = net.graph.max_closed_degree();
+  Params p = Params::practical(net.graph.num_nodes(), delta, 5, 10);
+  p.reset_policy = ResetPolicy::kNaive;
+  const auto ws = radio::WakeSchedule::synchronous(net.graph.num_nodes());
+  const auto run = run_coloring(net.graph, p, ws, 3);
+  EXPECT_TRUE(run.all_decided);
+}
+
+TEST(ResetAblation, NaivePolicyCascadesUnderAsynchronousWakeup) {
+  // Under perfectly synchronous wake-up, all counters move in lockstep and
+  // the naive "reset on higher counter" rule never fires; the cascading
+  // behaviour the paper warns about needs staggered counters, so use an
+  // asynchronous schedule.
+  Rng rng(58);
+  const auto net = graph::random_udg(80, 5.0, 1.4, rng);  // dense
+  const auto delta = net.graph.max_closed_degree();
+  Params paper = Params::practical(net.graph.num_nodes(), delta, 5, 12);
+  Params naive = paper;
+  naive.reset_policy = ResetPolicy::kNaive;
+  Rng wrng(59);
+  const auto ws = radio::WakeSchedule::uniform(net.graph.num_nodes(),
+                                               4 * paper.threshold(), wrng);
+  const auto run_paper = run_coloring(net.graph, paper, ws, 5);
+  const auto run_naive = run_coloring(net.graph, naive, ws, 5);
+  ASSERT_TRUE(run_paper.all_decided);
+  EXPECT_GT(run_naive.total_resets, 0u);
+}
+
+}  // namespace
+}  // namespace urn::core

@@ -1,0 +1,112 @@
+// Tests for the TDMA derivation (the paper's Sect. 1 motivation).
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "core/tdma.hpp"
+#include "graph/coloring.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace urn::core {
+namespace {
+
+TEST(Tdma, FrameIsMaxColorPlusOne) {
+  const graph::Graph g = graph::path_graph(4);
+  const std::vector<graph::Color> colors = {0, 1, 0, 2};
+  const TdmaSchedule s = derive_tdma(g, colors);
+  EXPECT_EQ(s.frame, 3u);
+  EXPECT_EQ(s.slot[3], 2u);
+}
+
+TEST(Tdma, RejectsIncompleteColoring) {
+  const graph::Graph g = graph::path_graph(2);
+  EXPECT_THROW((void)derive_tdma(g, {0, graph::kUncolored}), CheckError);
+}
+
+TEST(Tdma, LocalFrameTracksNeighborhoodColors) {
+  // Path 0-1-2-3-4-5 with a high color only at one end.
+  const graph::Graph g = graph::path_graph(6);
+  const std::vector<graph::Color> colors = {9, 1, 0, 1, 0, 1};
+  const TdmaSchedule s = derive_tdma(g, colors);
+  EXPECT_EQ(s.frame, 10u);
+  EXPECT_EQ(s.local_frame[0], 10u);  // sees itself
+  EXPECT_EQ(s.local_frame[2], 10u);  // node 0 is 2 hops away
+  EXPECT_EQ(s.local_frame[5], 2u);   // far end only sees colors {0,1}
+  EXPECT_DOUBLE_EQ(s.bandwidth_share(5), 0.5);
+}
+
+TEST(Tdma, CorrectColoringIsDirectInterferenceFree) {
+  const graph::Graph g = graph::cycle_graph(6);
+  const auto colors = graph::greedy_coloring(g);
+  const TdmaSchedule s = derive_tdma(g, colors);
+  const TdmaReport report = analyze_tdma(g, s);
+  EXPECT_TRUE(report.direct_interference_free);
+  // On the even cycle a listener's two neighbors share a color — that is
+  // the distance-2 conflict a 1-hop coloring legitimately allows.
+  EXPECT_LE(report.max_neighbor_transmitters, 2u);
+}
+
+TEST(Tdma, MonochromaticEdgeIsDetected) {
+  const graph::Graph g = graph::path_graph(3);
+  const std::vector<graph::Color> colors = {0, 1, 1};  // 1-2 conflict
+  const TdmaReport report = analyze_tdma(g, derive_tdma(g, colors));
+  EXPECT_FALSE(report.direct_interference_free);
+}
+
+TEST(Tdma, TwoHopConflictsAllowedButBounded) {
+  // Path 0-1-2: 0 and 2 may share a color under a 1-hop coloring; the
+  // middle node then has 2 two-hop transmitters in that slot.
+  const graph::Graph g = graph::path_graph(3);
+  const std::vector<graph::Color> colors = {0, 1, 0};
+  const TdmaReport report = analyze_tdma(g, derive_tdma(g, colors));
+  EXPECT_TRUE(report.direct_interference_free);
+  EXPECT_GE(report.max_two_hop_transmitters, 2u);
+  // Node 1 cannot receive 0 or 2 cleanly (both up in the same slot).
+  EXPECT_LT(report.clean_reception_fraction, 1.0);
+}
+
+TEST(Tdma, EmptyGraphTrivialSchedule) {
+  const graph::Graph g = graph::empty_graph(3);
+  const TdmaSchedule s = derive_tdma(g, {0, 0, 0});
+  EXPECT_EQ(s.frame, 1u);
+  const TdmaReport report = analyze_tdma(g, s);
+  EXPECT_TRUE(report.direct_interference_free);
+  EXPECT_DOUBLE_EQ(report.clean_reception_fraction, 1.0);
+}
+
+// End-to-end: the protocol's coloring yields a direct-interference-free
+// schedule whose two-hop conflicts stay below the small-constant bound the
+// paper argues for (κ₂ conflicting senders at distance 2).
+class TdmaEndToEnd : public ::testing::TestWithParam<int> {};
+
+TEST_P(TdmaEndToEnd, ProtocolColoringGivesCleanSchedule) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 67 + 9);
+  const auto net = graph::random_udg(80, 6.5, 1.4, rng);
+  const auto delta = std::max(2u, net.graph.max_closed_degree());
+  const Params p = Params::practical(net.graph.num_nodes(), delta, 5, 12);
+  const auto run = core::run_coloring(
+      net.graph, p,
+      radio::WakeSchedule::synchronous(net.graph.num_nodes()),
+      static_cast<std::uint64_t>(GetParam()));
+  ASSERT_TRUE(run.all_decided);
+  ASSERT_TRUE(run.check.valid());
+  const TdmaSchedule s = derive_tdma(net.graph, run.colors);
+  const TdmaReport report = analyze_tdma(net.graph, s);
+  EXPECT_TRUE(report.direct_interference_free);
+  // Same-slot transmitters near a listener share a color, hence form an
+  // independent set: ≤ κ₁ at one hop and ≤ κ₂ at two hops (the paper's
+  // "small constant number of interfering senders").
+  EXPECT_LE(report.max_neighbor_transmitters, p.kappa1);
+  EXPECT_LE(report.max_two_hop_transmitters, p.kappa2);
+  // Local frames never exceed the global frame.
+  for (graph::NodeId v = 0; v < net.graph.num_nodes(); ++v) {
+    EXPECT_LE(s.local_frame[v], s.frame);
+    EXPECT_GT(s.local_frame[v], s.slot[v]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TdmaEndToEnd, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace urn::core
