@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a1_ablation_resets.dir/a1_ablation_resets.cpp.o"
+  "CMakeFiles/a1_ablation_resets.dir/a1_ablation_resets.cpp.o.d"
+  "a1_ablation_resets"
+  "a1_ablation_resets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a1_ablation_resets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

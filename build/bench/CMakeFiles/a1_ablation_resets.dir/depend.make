@@ -1,0 +1,2 @@
+# Empty dependencies file for a1_ablation_resets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a2_ablation_alpha.dir/a2_ablation_alpha.cpp.o"
+  "CMakeFiles/a2_ablation_alpha.dir/a2_ablation_alpha.cpp.o.d"
+  "a2_ablation_alpha"
+  "a2_ablation_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a2_ablation_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for a2_ablation_alpha.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3_ablation_queue.dir/a3_ablation_queue.cpp.o"
+  "CMakeFiles/a3_ablation_queue.dir/a3_ablation_queue.cpp.o.d"
+  "a3_ablation_queue"
+  "a3_ablation_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3_ablation_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_estimates.dir/e10_estimates.cpp.o"
+  "CMakeFiles/e10_estimates.dir/e10_estimates.cpp.o.d"
+  "e10_estimates"
+  "e10_estimates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_estimates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_message_cost.dir/e11_message_cost.cpp.o"
+  "CMakeFiles/e11_message_cost.dir/e11_message_cost.cpp.o.d"
+  "e11_message_cost"
+  "e11_message_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_message_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

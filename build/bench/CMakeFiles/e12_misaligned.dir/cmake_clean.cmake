@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_misaligned.dir/e12_misaligned.cpp.o"
+  "CMakeFiles/e12_misaligned.dir/e12_misaligned.cpp.o.d"
+  "e12_misaligned"
+  "e12_misaligned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_misaligned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_tdma.dir/e13_tdma.cpp.o"
+  "CMakeFiles/e13_tdma.dir/e13_tdma.cpp.o.d"
+  "e13_tdma"
+  "e13_tdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_tdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e14_leader_election.dir/e14_leader_election.cpp.o"
+  "CMakeFiles/e14_leader_election.dir/e14_leader_election.cpp.o.d"
+  "e14_leader_election"
+  "e14_leader_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_leader_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

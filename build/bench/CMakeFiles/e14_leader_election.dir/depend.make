@@ -1,0 +1,2 @@
+# Empty dependencies file for e14_leader_election.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e15_faults.dir/e15_faults.cpp.o"
+  "CMakeFiles/e15_faults.dir/e15_faults.cpp.o.d"
+  "e15_faults"
+  "e15_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e15_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_correctness.dir/e1_correctness.cpp.o"
+  "CMakeFiles/e1_correctness.dir/e1_correctness.cpp.o.d"
+  "e1_correctness"
+  "e1_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_time_vs_delta.dir/e2_time_vs_delta.cpp.o"
+  "CMakeFiles/e2_time_vs_delta.dir/e2_time_vs_delta.cpp.o.d"
+  "e2_time_vs_delta"
+  "e2_time_vs_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_time_vs_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

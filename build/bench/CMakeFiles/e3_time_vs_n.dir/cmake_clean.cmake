@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_time_vs_n.dir/e3_time_vs_n.cpp.o"
+  "CMakeFiles/e3_time_vs_n.dir/e3_time_vs_n.cpp.o.d"
+  "e3_time_vs_n"
+  "e3_time_vs_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_time_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e3_time_vs_n.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_colors.dir/e4_colors.cpp.o"
+  "CMakeFiles/e4_colors.dir/e4_colors.cpp.o.d"
+  "e4_colors"
+  "e4_colors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_colors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e4_colors.
+# This may be replaced when dependencies are built.

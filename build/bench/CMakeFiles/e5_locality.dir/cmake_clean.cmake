@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_locality.dir/e5_locality.cpp.o"
+  "CMakeFiles/e5_locality.dir/e5_locality.cpp.o.d"
+  "e5_locality"
+  "e5_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e5_locality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_wakeup.dir/e6_wakeup.cpp.o"
+  "CMakeFiles/e6_wakeup.dir/e6_wakeup.cpp.o.d"
+  "e6_wakeup"
+  "e6_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_constants.dir/e7_constants.cpp.o"
+  "CMakeFiles/e7_constants.dir/e7_constants.cpp.o.d"
+  "e7_constants"
+  "e7_constants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

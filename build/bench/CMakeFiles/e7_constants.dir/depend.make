@@ -1,0 +1,2 @@
+# Empty dependencies file for e7_constants.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_big.dir/e8_big.cpp.o"
+  "CMakeFiles/e8_big.dir/e8_big.cpp.o.d"
+  "e8_big"
+  "e8_big.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_big.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

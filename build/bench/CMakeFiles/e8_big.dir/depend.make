@@ -1,0 +1,2 @@
+# Empty dependencies file for e8_big.
+# This may be replaced when dependencies are built.

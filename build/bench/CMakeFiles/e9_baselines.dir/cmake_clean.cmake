@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_baselines.dir/e9_baselines.cpp.o"
+  "CMakeFiles/e9_baselines.dir/e9_baselines.cpp.o.d"
+  "e9_baselines"
+  "e9_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obstacle_field.dir/obstacle_field.cpp.o"
+  "CMakeFiles/obstacle_field.dir/obstacle_field.cpp.o.d"
+  "obstacle_field"
+  "obstacle_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obstacle_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_deployment.dir/sensor_deployment.cpp.o"
+  "CMakeFiles/sensor_deployment.dir/sensor_deployment.cpp.o.d"
+  "sensor_deployment"
+  "sensor_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

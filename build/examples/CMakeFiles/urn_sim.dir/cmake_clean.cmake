@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urn_sim.dir/urn_sim.cpp.o"
+  "CMakeFiles/urn_sim.dir/urn_sim.cpp.o.d"
+  "urn_sim"
+  "urn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

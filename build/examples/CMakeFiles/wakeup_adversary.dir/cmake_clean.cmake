@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wakeup_adversary.dir/wakeup_adversary.cpp.o"
+  "CMakeFiles/wakeup_adversary.dir/wakeup_adversary.cpp.o.d"
+  "wakeup_adversary"
+  "wakeup_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wakeup_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

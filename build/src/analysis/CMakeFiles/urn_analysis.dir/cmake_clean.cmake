@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urn_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/urn_analysis.dir/experiment.cpp.o.d"
+  "CMakeFiles/urn_analysis.dir/histogram.cpp.o"
+  "CMakeFiles/urn_analysis.dir/histogram.cpp.o.d"
+  "CMakeFiles/urn_analysis.dir/table.cpp.o"
+  "CMakeFiles/urn_analysis.dir/table.cpp.o.d"
+  "liburn_analysis.a"
+  "liburn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urn_baselines.dir/message_passing.cpp.o"
+  "CMakeFiles/urn_baselines.dir/message_passing.cpp.o.d"
+  "CMakeFiles/urn_baselines.dir/rand_verify.cpp.o"
+  "CMakeFiles/urn_baselines.dir/rand_verify.cpp.o.d"
+  "liburn_baselines.a"
+  "liburn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liburn_baselines.a"
+)

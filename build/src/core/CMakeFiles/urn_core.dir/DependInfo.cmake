@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chi.cpp" "src/core/CMakeFiles/urn_core.dir/chi.cpp.o" "gcc" "src/core/CMakeFiles/urn_core.dir/chi.cpp.o.d"
+  "/root/repo/src/core/estimation.cpp" "src/core/CMakeFiles/urn_core.dir/estimation.cpp.o" "gcc" "src/core/CMakeFiles/urn_core.dir/estimation.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/urn_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/urn_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/urn_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/urn_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/urn_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/urn_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/tdma.cpp" "src/core/CMakeFiles/urn_core.dir/tdma.cpp.o" "gcc" "src/core/CMakeFiles/urn_core.dir/tdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/urn_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/urn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/urn_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/urn_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urn_core.dir/chi.cpp.o"
+  "CMakeFiles/urn_core.dir/chi.cpp.o.d"
+  "CMakeFiles/urn_core.dir/estimation.cpp.o"
+  "CMakeFiles/urn_core.dir/estimation.cpp.o.d"
+  "CMakeFiles/urn_core.dir/params.cpp.o"
+  "CMakeFiles/urn_core.dir/params.cpp.o.d"
+  "CMakeFiles/urn_core.dir/protocol.cpp.o"
+  "CMakeFiles/urn_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/urn_core.dir/runner.cpp.o"
+  "CMakeFiles/urn_core.dir/runner.cpp.o.d"
+  "CMakeFiles/urn_core.dir/tdma.cpp.o"
+  "CMakeFiles/urn_core.dir/tdma.cpp.o.d"
+  "liburn_core.a"
+  "liburn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urn_geom.dir/segment.cpp.o"
+  "CMakeFiles/urn_geom.dir/segment.cpp.o.d"
+  "CMakeFiles/urn_geom.dir/spatial_grid.cpp.o"
+  "CMakeFiles/urn_geom.dir/spatial_grid.cpp.o.d"
+  "liburn_geom.a"
+  "liburn_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urn_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

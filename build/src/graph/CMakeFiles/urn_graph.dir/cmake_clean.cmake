@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urn_graph.dir/coloring.cpp.o"
+  "CMakeFiles/urn_graph.dir/coloring.cpp.o.d"
+  "CMakeFiles/urn_graph.dir/generators.cpp.o"
+  "CMakeFiles/urn_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/urn_graph.dir/graph.cpp.o"
+  "CMakeFiles/urn_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/urn_graph.dir/independence.cpp.o"
+  "CMakeFiles/urn_graph.dir/independence.cpp.o.d"
+  "CMakeFiles/urn_graph.dir/io.cpp.o"
+  "CMakeFiles/urn_graph.dir/io.cpp.o.d"
+  "CMakeFiles/urn_graph.dir/traversal.cpp.o"
+  "CMakeFiles/urn_graph.dir/traversal.cpp.o.d"
+  "liburn_graph.a"
+  "liburn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urn_radio.dir/wakeup.cpp.o"
+  "CMakeFiles/urn_radio.dir/wakeup.cpp.o.d"
+  "liburn_radio.a"
+  "liburn_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urn_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

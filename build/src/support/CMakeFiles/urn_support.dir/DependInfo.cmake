@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/cli.cpp" "src/support/CMakeFiles/urn_support.dir/cli.cpp.o" "gcc" "src/support/CMakeFiles/urn_support.dir/cli.cpp.o.d"
+  "/root/repo/src/support/ids.cpp" "src/support/CMakeFiles/urn_support.dir/ids.cpp.o" "gcc" "src/support/CMakeFiles/urn_support.dir/ids.cpp.o.d"
+  "/root/repo/src/support/mathutil.cpp" "src/support/CMakeFiles/urn_support.dir/mathutil.cpp.o" "gcc" "src/support/CMakeFiles/urn_support.dir/mathutil.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/support/CMakeFiles/urn_support.dir/rng.cpp.o" "gcc" "src/support/CMakeFiles/urn_support.dir/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/support/CMakeFiles/urn_support.dir/stats.cpp.o" "gcc" "src/support/CMakeFiles/urn_support.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

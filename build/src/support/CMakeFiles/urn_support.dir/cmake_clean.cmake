@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urn_support.dir/cli.cpp.o"
+  "CMakeFiles/urn_support.dir/cli.cpp.o.d"
+  "CMakeFiles/urn_support.dir/ids.cpp.o"
+  "CMakeFiles/urn_support.dir/ids.cpp.o.d"
+  "CMakeFiles/urn_support.dir/mathutil.cpp.o"
+  "CMakeFiles/urn_support.dir/mathutil.cpp.o.d"
+  "CMakeFiles/urn_support.dir/rng.cpp.o"
+  "CMakeFiles/urn_support.dir/rng.cpp.o.d"
+  "CMakeFiles/urn_support.dir/stats.cpp.o"
+  "CMakeFiles/urn_support.dir/stats.cpp.o.d"
+  "liburn_support.a"
+  "liburn_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urn_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

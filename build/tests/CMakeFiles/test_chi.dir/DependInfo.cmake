@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_chi.cpp" "tests/CMakeFiles/test_chi.dir/test_chi.cpp.o" "gcc" "tests/CMakeFiles/test_chi.dir/test_chi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/urn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/urn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/urn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/urn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/urn_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/urn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/urn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

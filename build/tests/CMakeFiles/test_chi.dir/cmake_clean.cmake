@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chi.dir/test_chi.cpp.o"
+  "CMakeFiles/test_chi.dir/test_chi.cpp.o.d"
+  "test_chi"
+  "test_chi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_independence.dir/test_independence.cpp.o"
+  "CMakeFiles/test_independence.dir/test_independence.cpp.o.d"
+  "test_independence"
+  "test_independence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

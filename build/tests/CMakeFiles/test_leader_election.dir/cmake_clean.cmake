@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leader_election.dir/test_leader_election.cpp.o"
+  "CMakeFiles/test_leader_election.dir/test_leader_election.cpp.o.d"
+  "test_leader_election"
+  "test_leader_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leader_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_leader_election.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_misaligned.dir/test_misaligned.cpp.o"
+  "CMakeFiles/test_misaligned.dir/test_misaligned.cpp.o.d"
+  "test_misaligned"
+  "test_misaligned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_misaligned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

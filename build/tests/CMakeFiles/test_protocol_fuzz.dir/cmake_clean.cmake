@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_fuzz.dir/test_protocol_fuzz.cpp.o"
+  "CMakeFiles/test_protocol_fuzz.dir/test_protocol_fuzz.cpp.o.d"
+  "test_protocol_fuzz"
+  "test_protocol_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

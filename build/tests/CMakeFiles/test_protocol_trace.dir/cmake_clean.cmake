@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_trace.dir/test_protocol_trace.cpp.o"
+  "CMakeFiles/test_protocol_trace.dir/test_protocol_trace.cpp.o.d"
+  "test_protocol_trace"
+  "test_protocol_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

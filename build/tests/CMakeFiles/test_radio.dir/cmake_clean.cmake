@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radio.dir/test_radio.cpp.o"
+  "CMakeFiles/test_radio.dir/test_radio.cpp.o.d"
+  "test_radio"
+  "test_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_diff.dir/test_reference_diff.cpp.o"
+  "CMakeFiles/test_reference_diff.dir/test_reference_diff.cpp.o.d"
+  "test_reference_diff"
+  "test_reference_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

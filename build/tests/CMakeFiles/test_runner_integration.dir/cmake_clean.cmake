@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runner_integration.dir/test_runner_integration.cpp.o"
+  "CMakeFiles/test_runner_integration.dir/test_runner_integration.cpp.o.d"
+  "test_runner_integration"
+  "test_runner_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runner_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
