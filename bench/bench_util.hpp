@@ -1,16 +1,38 @@
 /// \file bench_util.hpp
-/// \brief Shared helpers for the experiment binaries (E1–E9, A1–A3).
+/// \brief Shared helpers for the experiment binaries (E1–E15, A1–A3).
+///
+/// Besides parameter measurement and the banner, this provides the two
+/// observability hooks every experiment shares:
+///
+///  * `BenchSummary` — machine-readable run summaries.  Each experiment
+///    fills one with its scenario parameters and headline metrics and
+///    calls `emit()`, which writes `BENCH_<name>.json` into the directory
+///    named by the `URN_BENCH_JSON` environment variable (mirroring the
+///    `URN_BENCH_CSV` convention of analysis::Table).  Keys are dotted
+///    paths ("scenario.n", "medium.collisions"), values JSON scalars.
+///
+///  * `TraceArgs` — the standard `--trace` / `--metrics-out` /
+///    `--metrics-window` flag set that lets any experiment record one
+///    representative run as a JSONL event log (for `urn_trace`) and/or a
+///    per-window metrics CSV.
 
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/experiment.hpp"
 #include "analysis/table.hpp"
 #include "core/params.hpp"
+#include "core/runner.hpp"
 #include "graph/generators.hpp"
 #include "graph/independence.hpp"
+#include "obs/profile.hpp"
+#include "support/cli.hpp"
 #include "support/rng.hpp"
 
 namespace urn::bench {
@@ -42,6 +64,180 @@ inline MeasuredParams measured_params(const graph::Graph& g,
 /// Print a one-line banner common to all experiment binaries.
 inline void banner(const char* id, const char* claim) {
   std::printf("[%s] %s\n\n", id, claim);
+}
+
+/// Machine-readable experiment summary; see the file comment.
+class BenchSummary {
+ public:
+  explicit BenchSummary(std::string name) : name_(std::move(name)) {}
+
+  void set(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    entries_.emplace_back(key, buf);
+  }
+  void set(const std::string& key, std::int64_t v) {
+    entries_.emplace_back(key, std::to_string(v));
+  }
+  void set(const std::string& key, std::uint64_t v) {
+    entries_.emplace_back(key, std::to_string(v));
+  }
+  void set(const std::string& key, std::int32_t v) {
+    set(key, static_cast<std::int64_t>(v));
+  }
+  void set(const std::string& key, std::uint32_t v) {
+    set(key, static_cast<std::uint64_t>(v));
+  }
+  void set(const std::string& key, bool v) {
+    entries_.emplace_back(key, v ? "true" : "false");
+  }
+  void set(const std::string& key, const std::string& v) {
+    std::string enc = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') enc.push_back('\\');
+      enc.push_back(c);
+    }
+    enc.push_back('"');
+    entries_.emplace_back(key, std::move(enc));
+  }
+  void set(const std::string& key, const char* v) {
+    set(key, std::string(v));
+  }
+
+  /// Record one run's medium statistics under `<prefix>.*`.
+  void set_medium(const std::string& prefix, const radio::RunStats& s) {
+    set(prefix + ".slots_run", static_cast<std::int64_t>(s.slots_run));
+    set(prefix + ".transmissions", s.transmissions);
+    set(prefix + ".deliveries", s.deliveries);
+    set(prefix + ".collisions", s.collisions);
+    set(prefix + ".dropped", s.dropped);
+    set(prefix + ".all_decided", s.all_decided);
+  }
+
+  /// Snapshot the global profile/counter registry under "profile.*".
+  void add_profile() {
+    for (const auto& [k, v] : obs::CounterRegistry::global().snapshot()) {
+      set("profile." + k, v);
+    }
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out.append("  \"").append(entries_[i].first).append("\": ");
+      out.append(entries_[i].second);
+      if (i + 1 < entries_.size()) out.push_back(',');
+      out.push_back('\n');
+    }
+    out.append("}\n");
+    return out;
+  }
+
+  /// Write `<dir>/BENCH_<name>.json` when URN_BENCH_JSON names a
+  /// directory; silently a no-op otherwise (text output stands alone).
+  void emit() const {
+    const char* dir = std::getenv("URN_BENCH_JSON");
+    if (dir == nullptr || *dir == '\0') return;
+    const std::string path =
+        std::string(dir) + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchSummary: cannot write %s\n", path.c_str());
+      return;
+    }
+    const std::string json = to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("(json summary -> %s)\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// The standard observability flag set for experiment binaries.
+struct TraceArgs {
+  std::string trace_path;    ///< --trace: JSONL event log destination
+  std::string metrics_path;  ///< --metrics-out: per-window CSV destination
+  std::int64_t window = 16;  ///< --metrics-window
+
+  [[nodiscard]] bool enabled() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+  [[nodiscard]] core::TraceOptions options() const {
+    core::TraceOptions opts;
+    opts.metrics = !metrics_path.empty();
+    opts.metrics_window = window;
+    opts.events_jsonl = trace_path;
+    return opts;
+  }
+};
+
+/// Parse the standard flags; exits(2) on bad flags, exits(0) on --help.
+inline TraceArgs parse_trace_args(int argc, const char* const* argv,
+                                  const char* program) {
+  CliFlags flags;
+  flags.add_string("trace", "",
+                   "record one representative run as a JSONL event log "
+                   "(analyze with urn_trace)");
+  flags.add_string("metrics-out", "",
+                   "write that run's per-window metrics series as CSV");
+  flags.add_int("metrics-window", 16, "metrics window width in slots");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
+                 flags.usage(program).c_str());
+    std::exit(2);
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.usage(program).c_str());
+    std::exit(0);
+  }
+  TraceArgs args;
+  args.trace_path = flags.get_string("trace");
+  args.metrics_path = flags.get_string("metrics-out");
+  args.window = std::max<std::int64_t>(1, flags.get_int("metrics-window"));
+  // Fail on unwritable destinations now, not after the (often long)
+  // aggregate loops have already run.
+  for (const std::string& path : {args.trace_path, args.metrics_path}) {
+    if (path.empty()) continue;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      std::exit(2);
+    }
+    std::fclose(f);
+  }
+  return args;
+}
+
+/// Run one traced execution and write the requested artifacts.
+inline core::RunResult run_traced(const TraceArgs& args,
+                                  const graph::Graph& g,
+                                  const core::Params& params,
+                                  const radio::WakeSchedule& schedule,
+                                  std::uint64_t seed,
+                                  radio::MediumOptions medium = {}) {
+  const core::RunResult run = core::run_coloring_traced(
+      g, params, schedule, seed, args.options(), /*max_slots=*/0, medium);
+  if (!args.trace_path.empty()) {
+    std::printf("(trace: %llu events -> %s; validate with "
+                "urn_trace --log %s --kappa2 %u)\n",
+                static_cast<unsigned long long>(run.events_recorded),
+                args.trace_path.c_str(), args.trace_path.c_str(),
+                params.kappa2);
+  }
+  if (!args.metrics_path.empty() && run.series.has_value()) {
+    if (run.series->write_csv_file(args.metrics_path)) {
+      std::printf("(metrics: %zu windows of %lld slots -> %s)\n",
+                  run.series->size(),
+                  static_cast<long long>(run.series->window()),
+                  args.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_path.c_str());
+    }
+  }
+  return run;
 }
 
 }  // namespace urn::bench

@@ -22,8 +22,9 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace urn;
+  const bench::TraceArgs trace = bench::parse_trace_args(argc, argv, "e15");
   bench::banner("E15", "failure injection: fading drops and leader crashes");
 
   Rng rng(0xE15);
@@ -38,6 +39,10 @@ int main() {
                      "E15a: i.i.d. drop probability on clean receptions "
                      "(10 trials each)");
   t1.set_header({"drop_p", "valid", "complete", "mean_T", "slowdown"});
+  bench::BenchSummary summary("e15_faults");
+  summary.set("n", static_cast<std::uint64_t>(n));
+  summary.set("delta", mp.delta);
+  summary.set("kappa2", mp.kappa2);
   double baseline_mean = 0.0;
   for (double p : {0.0, 0.1, 0.25, 0.5, 0.75}) {
     radio::MediumOptions medium;
@@ -62,6 +67,27 @@ int main() {
                     static_cast<double>(complete) / trials, 2),
                 analysis::Table::num(mean_t.mean(), 0),
                 analysis::Table::num(mean_t.mean() / baseline_mean, 2)});
+    {
+      char key[32];
+      std::snprintf(key, sizeof(key), "drop%.2f", p);
+      summary.set(std::string(key) + ".valid_fraction",
+                  static_cast<double>(valid) / static_cast<double>(trials));
+      summary.set(std::string(key) + ".mean_latency", mean_t.mean());
+    }
+
+    // --trace / --metrics-out: record trial 0 at drop_p = 0.25, a lossy
+    // but fully-absorbed operating point — the log then contains "drop"
+    // events for urn_trace to tally.
+    if (trace.enabled() && p == 0.25) {
+      Rng wrng(mix_seed(0xE15F, 0));
+      const auto ws =
+          radio::WakeSchedule::uniform(n, 2 * mp.params.threshold(), wrng);
+      const auto run = bench::run_traced(trace, net.graph, mp.params, ws,
+                                         mix_seed(0xE15A, 0), medium);
+      summary.set("traced.drop_p", p);
+      summary.set("traced.valid", run.check.valid());
+      summary.set_medium("traced", run.medium);
+    }
   }
   t1.emit();
 
@@ -124,6 +150,8 @@ int main() {
                     static_cast<double>(valid_runs) / trials, 2)});
   }
   t2.emit();
+  summary.add_profile();
+  summary.emit();
   std::printf(
       "Measured: fading up to 50%% is absorbed outright (the calibrated "
       "windows carry that much margin); at 75%% the margin is gone and "

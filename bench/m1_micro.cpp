@@ -12,6 +12,8 @@
 #include "graph/coloring.hpp"
 #include "graph/generators.hpp"
 #include "graph/independence.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -74,6 +76,56 @@ void BM_ProtocolSlots(benchmark::State& state) {
   state.SetItemsProcessed(node_slots);
 }
 BENCHMARK(BM_ProtocolSlots)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_ProtocolSlotsTraced(benchmark::State& state) {
+  // Same workload as BM_ProtocolSlots but with a live MetricsSink
+  // (window 16) attached — the cost of observability when it is ON.
+  // Compare against BM_ProtocolSlots, which instantiates the engine with
+  // NullSink: that pair quantifies the zero-overhead claim (NullSink is
+  // compiled out) and the marginal cost of live metrics.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const double side = 1.5 * std::sqrt(static_cast<double>(n) / 2.8);
+  const auto net = graph::random_udg(n, side, 1.5, rng);
+  const auto delta = std::max(2u, net.graph.max_closed_degree());
+  const auto params = core::Params::practical(n, delta, 5, 12);
+  std::uint64_t seed = 10;
+  std::int64_t node_slots = 0;
+  core::TraceOptions trace;
+  trace.metrics = true;
+  trace.metrics_window = 16;
+  for (auto _ : state) {
+    const auto run = core::run_coloring_traced(
+        net.graph, params, radio::WakeSchedule::synchronous(n), seed++,
+        trace);
+    benchmark::DoNotOptimize(run.series->size());
+    node_slots += static_cast<std::int64_t>(run.medium.slots_run) *
+                  static_cast<std::int64_t>(n);
+  }
+  state.SetItemsProcessed(node_slots);
+}
+BENCHMARK(BM_ProtocolSlotsTraced)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EventSinkRecord(benchmark::State& state) {
+  // Raw sink throughput: how fast can a RingSink absorb events.
+  obs::RingSink ring(1 << 12);
+  std::int64_t recorded = 0;
+  for (auto _ : state) {
+    for (obs::Slot s = 0; s < 1024; ++s) {
+      ring.record(obs::Event::transmit(
+          s, static_cast<obs::NodeId>(s & 63),
+          static_cast<std::uint8_t>(obs::MsgCode::kCompete), /*color=*/0,
+          /*counter=*/s));
+    }
+    recorded += 1024;
+    benchmark::DoNotOptimize(ring.recorded());
+  }
+  state.SetItemsProcessed(recorded);
+}
+BENCHMARK(BM_EventSinkRecord);
 
 void BM_GreedyColoring(benchmark::State& state) {
   Rng rng(5);

@@ -96,6 +96,11 @@ int main(int argc, char** argv) {
   flags.add_double("scale", 1.0, "scale factor on the protocol constants");
   flags.add_bool("tdma", false, "derive and audit a TDMA schedule");
   flags.add_bool("verbose", false, "per-trial details");
+  flags.add_string("trace", "",
+                   "record trial 0 as a JSONL event log (see urn_trace)");
+  flags.add_string("metrics-out", "",
+                   "write trial 0's per-window metrics series as CSV");
+  flags.add_int("metrics-window", 16, "metrics window width in slots");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
@@ -129,6 +134,24 @@ int main(int argc, char** argv) {
               params.alpha, params.beta, params.gamma, params.sigma,
               static_cast<long long>(params.threshold()));
 
+  core::TraceOptions trace;
+  trace.events_jsonl = flags.get_string("trace");
+  trace.metrics = !flags.get_string("metrics-out").empty();
+  trace.metrics_window =
+      std::max<std::int64_t>(1, flags.get_int("metrics-window"));
+  const bool tracing = trace.metrics || !trace.events_jsonl.empty();
+  // Reject unwritable destinations up front rather than aborting mid-run.
+  for (const std::string& path :
+       {trace.events_jsonl, flags.get_string("metrics-out")}) {
+    if (path.empty()) continue;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    std::fclose(f);
+  }
+
   const auto trials = static_cast<std::size_t>(flags.get_int("trials"));
   std::size_t valid = 0;
   Samples mean_lat, max_lat, colors;
@@ -136,8 +159,30 @@ int main(int argc, char** argv) {
   for (std::size_t t = 0; t < trials; ++t) {
     Rng wrng(mix_seed(seed, 1000 + t));
     const auto schedule = build_wake(flags, net, params, wrng);
-    const auto run = core::run_coloring(net.graph, params, schedule,
-                                        mix_seed(seed, t));
+    // Sinks never touch the RNG streams, so the traced trial 0 is
+    // bit-identical to what run_coloring would have produced.
+    const auto run =
+        (tracing && t == 0)
+            ? core::run_coloring_traced(net.graph, params, schedule,
+                                        mix_seed(seed, t), trace)
+            : core::run_coloring(net.graph, params, schedule,
+                                 mix_seed(seed, t));
+    if (tracing && t == 0) {
+      if (!trace.events_jsonl.empty()) {
+        std::printf("(trace: %llu events -> %s)\n",
+                    static_cast<unsigned long long>(run.events_recorded),
+                    trace.events_jsonl.c_str());
+      }
+      if (run.series.has_value()) {
+        const std::string out = flags.get_string("metrics-out");
+        if (run.series->write_csv_file(out)) {
+          std::printf("(metrics: %zu windows -> %s)\n", run.series->size(),
+                      out.c_str());
+        } else {
+          std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        }
+      }
+    }
     if (run.check.valid()) ++valid;
     mean_lat.add(run.mean_latency());
     max_lat.add(static_cast<double>(run.max_latency()));

@@ -4,18 +4,28 @@
 #include <cstdlib>
 
 #include "core/chi.hpp"
+#include "obs/event.hpp"
 #include "support/check.hpp"
 
 namespace urn::core {
+
+// The obs layer mirrors Phase as small integer codes; keep them in sync.
+static_assert(static_cast<std::uint8_t>(Phase::kVerify) ==
+              static_cast<std::uint8_t>(obs::PhaseCode::kVerify));
+static_assert(static_cast<std::uint8_t>(Phase::kRequest) ==
+              static_cast<std::uint8_t>(obs::PhaseCode::kRequest));
+static_assert(static_cast<std::uint8_t>(Phase::kDecided) ==
+              static_cast<std::uint8_t>(obs::PhaseCode::kDecided));
 
 void ColoringNode::on_wake(radio::SlotContext& ctx) {
   URN_CHECK(params_ != nullptr);
   URN_CHECK(id_ == ctx.id);
   last_slot_ = ctx.now;
-  enter_verify(0);  // upon waking up, a node is initially in A_0
+  enter_verify(0, ctx);  // upon waking up, a node is initially in A_0
 }
 
-void ColoringNode::enter_verify(std::int32_t color_index) {
+void ColoringNode::enter_verify(std::int32_t color_index,
+                                const radio::SlotContext& ctx) {
   phase_ = Phase::kVerify;
   color_index_ = color_index;
   passive_remaining_ = params_->passive_slots();
@@ -23,10 +33,11 @@ void ColoringNode::enter_verify(std::int32_t color_index) {
   counter_ = 0;
   competitors_.clear();  // P_v := ∅ (Alg. 1 l. 1)
   ++stats_.verify_states;
-  record_transition(last_slot_);
+  record_transition(last_slot_, ctx);
 }
 
-void ColoringNode::enter_decided(std::int32_t color_index) {
+void ColoringNode::enter_decided(std::int32_t color_index,
+                                 const radio::SlotContext& ctx) {
   phase_ = Phase::kDecided;
   color_index_ = color_index;  // color_v := i (Alg. 3 l. 1)
   competitors_.clear();
@@ -35,10 +46,15 @@ void ColoringNode::enter_decided(std::int32_t color_index) {
     queue_.clear();
     serve_remaining_ = 0;
   }
-  record_transition(last_slot_);
+  record_transition(last_slot_, ctx);
 }
 
-void ColoringNode::record_transition(Slot slot) {
+void ColoringNode::record_transition(Slot slot,
+                                     const radio::SlotContext& ctx) {
+  if (ctx.tracing()) {
+    ctx.emit(obs::Event::phase_change(
+        slot, id_, static_cast<std::uint8_t>(phase_), color_index_));
+  }
   if (transitions_.size() >= kMaxTransitions) return;
   transitions_.push_back({slot, phase_, color_index_});
 }
@@ -64,7 +80,7 @@ std::optional<radio::Message> ColoringNode::on_slot(radio::SlotContext& ctx) {
       ++counter_;  // Alg. 1 l. 17
       if (counter_ >= params_->threshold()) {
         // Alg. 1 l. 19–20: decide color i and start Algorithm 3 at once.
-        enter_decided(color_index_);
+        enter_decided(color_index_, ctx);
         return on_slot(ctx);
       }
       if (ctx.random().chance(params_->p_active())) {
@@ -108,6 +124,9 @@ std::optional<radio::Message> ColoringNode::leader_slot(
       // Window exhausted: remove w from Q (Alg. 3 l. 21).
       served_.push_back(target);
       queue_.pop_front();
+      if (ctx.tracing()) {
+        ctx.emit(obs::Event::serve(ctx.now, id_, target, serve_tc_));
+      }
     }
     if (transmit) return radio::make_assign(id_, target, serve_tc_);
     return std::nullopt;
@@ -131,12 +150,12 @@ void ColoringNode::on_receive(radio::SlotContext& ctx,
       if (color_index_ == 0 && from_c0) {
         leader_ = msg.sender;  // L(v) := w
         phase_ = Phase::kRequest;
-        record_transition(ctx.now);
+        record_transition(ctx.now, ctx);
         return;
       }
       if (color_index_ > 0 && msg.type == radio::MsgType::kDecided &&
           msg.color_index == color_index_) {
-        enter_verify(color_index_ + 1);  // A_suc = A_{i+1}
+        enter_verify(color_index_ + 1, ctx);  // A_suc = A_{i+1}
         return;
       }
       // Competitor report M_A^i(w, c_w) (Alg. 1 l. 6–9 / 27–30).
@@ -151,6 +170,10 @@ void ColoringNode::on_receive(radio::SlotContext& ctx,
               if (std::llabs(counter_ - msg.counter) <= range) {
                 counter_ = chi_of_competitors(ctx.now);  // Alg. 1 l. 29
                 ++stats_.resets;
+                if (ctx.tracing()) {
+                  ctx.emit(obs::Event::reset(ctx.now, id_, color_index_,
+                                             counter_));
+                }
               }
             }
             break;
@@ -160,6 +183,9 @@ void ColoringNode::on_receive(radio::SlotContext& ctx,
             if (active_ && msg.counter > counter_) {
               counter_ = 0;
               ++stats_.resets;
+              if (ctx.tracing()) {
+                ctx.emit(obs::Event::reset(ctx.now, id_, color_index_, 0));
+              }
             }
             break;
           }
@@ -176,7 +202,7 @@ void ColoringNode::on_receive(radio::SlotContext& ctx,
           msg.target == id_) {
         tc_ = msg.tc;
         ++stats_.assignments_heard;
-        enter_verify(params_->first_verify_color(tc_));
+        enter_verify(params_->first_verify_color(tc_), ctx);
       }
       return;
     }

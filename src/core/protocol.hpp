@@ -63,6 +63,9 @@ struct NodeStats {
 /// One state-machine transition, recorded for tracing/verification.
 /// The sequence of these per node must follow Fig. 2:
 /// A₀ → {C₀ | R}, R → A_{tc(κ₂+1)}, A_i → {C_i | A_{i+1}} for i > 0.
+/// When the engine carries an event sink, each record is also emitted as
+/// an obs::EventKind::kPhase event (plus kReset / kServe for Alg. 1 l. 29
+/// resets and Alg. 3 window completions).
 struct Transition {
   Slot slot = 0;                ///< local slot of the transition
   Phase phase = Phase::kVerify; ///< state entered
@@ -126,9 +129,9 @@ class ColoringNode {
     }
   };
 
-  void enter_verify(std::int32_t color_index);
-  void enter_decided(std::int32_t color_index);
-  void record_transition(Slot slot);
+  void enter_verify(std::int32_t color_index, const radio::SlotContext& ctx);
+  void enter_decided(std::int32_t color_index, const radio::SlotContext& ctx);
+  void record_transition(Slot slot, const radio::SlotContext& ctx);
   void store_competitor(NodeId who, std::int64_t value, Slot now);
   [[nodiscard]] std::int64_t chi_of_competitors(Slot now) const;
   std::optional<radio::Message> leader_slot(radio::SlotContext& ctx);

@@ -1,7 +1,10 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "obs/profile.hpp"
+#include "obs/sink.hpp"
 #include "support/check.hpp"
 
 namespace urn::core {
@@ -30,21 +33,29 @@ Slot default_slot_budget(const Params& params,
   return schedule.latest() + states * per_state + 10000;
 }
 
-RunResult run_coloring(const graph::Graph& g, const Params& params,
-                       const radio::WakeSchedule& schedule,
-                       std::uint64_t seed, Slot max_slots,
-                       radio::MediumOptions medium) {
+namespace {
+
+/// The one shared execution path: build nodes, run the (sink-templated)
+/// engine, extract everything the experiments need.  `run_coloring` calls
+/// this with the zero-overhead NullSink instantiation; the traced variant
+/// with a real sink.
+template <obs::EventSink S>
+RunResult run_impl(const graph::Graph& g, const Params& params,
+                   const radio::WakeSchedule& schedule, std::uint64_t seed,
+                   Slot max_slots, radio::MediumOptions medium, S* sink) {
   params.validate();
   URN_CHECK(schedule.size() == g.num_nodes());
   if (max_slots == 0) max_slots = default_slot_budget(params, schedule);
+
+  obs::ProfileScope profile("core.run_coloring");
 
   std::vector<ColoringNode> nodes;
   nodes.reserve(g.num_nodes());
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     nodes.emplace_back(&params, v);
   }
-  radio::Engine<ColoringNode> engine(g, schedule, std::move(nodes), seed,
-                                     medium);
+  radio::Engine<ColoringNode, S> engine(g, schedule, std::move(nodes), seed,
+                                        medium, sink);
   const radio::RunStats stats = engine.run(max_slots);
 
   RunResult result;
@@ -61,7 +72,8 @@ RunResult run_coloring(const graph::Graph& g, const Params& params,
     result.wake_slot[v] = schedule.wake_slot(v);
     result.decision_slot[v] = engine.decision_slot(v);
     result.colors[v] = node.color();
-    if (engine.decision_slot(v) != radio::Engine<ColoringNode>::kUndecided) {
+    if (engine.decision_slot(v) !=
+        radio::Engine<ColoringNode, S>::kUndecided) {
       result.latency.push_back(engine.decision_latency(v));
     }
     if (node.is_leader()) ++result.num_leaders;
@@ -75,6 +87,47 @@ RunResult run_coloring(const graph::Graph& g, const Params& params,
 
   result.check = graph::validate(g, result.colors);
   result.max_color = graph::max_color(result.colors);
+
+  auto& counters = obs::CounterRegistry::global();
+  counters.counter("core.run_coloring.runs") += 1;
+  counters.counter("core.run_coloring.slots") +=
+      static_cast<std::uint64_t>(stats.slots_run);
+  counters.counter("core.run_coloring.node_slots") +=
+      static_cast<std::uint64_t>(stats.slots_run) * g.num_nodes();
+  return result;
+}
+
+}  // namespace
+
+RunResult run_coloring(const graph::Graph& g, const Params& params,
+                       const radio::WakeSchedule& schedule,
+                       std::uint64_t seed, Slot max_slots,
+                       radio::MediumOptions medium) {
+  return run_impl<obs::NullSink>(g, params, schedule, seed, max_slots,
+                                 medium, nullptr);
+}
+
+RunResult run_coloring_traced(const graph::Graph& g, const Params& params,
+                              const radio::WakeSchedule& schedule,
+                              std::uint64_t seed, const TraceOptions& trace,
+                              Slot max_slots, radio::MediumOptions medium) {
+  obs::MetricsSink metrics(trace.metrics_window);
+  std::optional<obs::JsonlSink> jsonl;
+  if (!trace.events_jsonl.empty()) jsonl.emplace(trace.events_jsonl);
+  URN_CHECK_MSG(!jsonl || jsonl->ok(),
+                "run_coloring_traced: cannot open " << trace.events_jsonl);
+
+  obs::TeeSink<obs::MetricsSink, obs::JsonlSink> tee(
+      trace.metrics ? &metrics : nullptr, jsonl ? &*jsonl : nullptr);
+  RunResult result = run_impl(g, params, schedule, seed, max_slots, medium,
+                              &tee);
+  if (trace.metrics) {
+    result.series = metrics.finish(result.medium.slots_run);
+  }
+  if (jsonl) {
+    jsonl->flush();
+    result.events_recorded = jsonl->written();
+  }
   return result;
 }
 

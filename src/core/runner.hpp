@@ -11,12 +11,15 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/params.hpp"
 #include "core/protocol.hpp"
 #include "graph/coloring.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "radio/engine.hpp"
 #include "radio/wakeup.hpp"
 
@@ -49,10 +52,29 @@ struct RunResult {
   std::uint32_t max_verify_states = 0;  ///< max #A_i states any node entered
   std::uint64_t duplicate_serves = 0;
 
+  /// Per-window medium/protocol time series; only populated by
+  /// `run_coloring_traced` with `TraceOptions::metrics` set.
+  std::optional<obs::TimeSeries> series;
+  /// Events written to `TraceOptions::events_jsonl` (0 when not tracing).
+  std::uint64_t events_recorded = 0;
+
   /// Max T_v over decided nodes (0 if none).
   [[nodiscard]] Slot max_latency() const;
   /// Mean T_v over decided nodes (0 if none).
   [[nodiscard]] double mean_latency() const;
+};
+
+/// Observability knobs for `run_coloring_traced`.  Everything defaults to
+/// off; the plain `run_coloring` path stays on the zero-overhead
+/// `obs::NullSink` engine instantiation.
+struct TraceOptions {
+  /// Collect a per-window obs::TimeSeries into RunResult::series.
+  bool metrics = false;
+  /// Window width in slots for the time series (≥ 1).
+  radio::Slot metrics_window = 1;
+  /// When non-empty, stream every event to this JSONL file (the format
+  /// `urn_trace` consumes).
+  std::string events_jsonl;
 };
 
 /// Execute the protocol.
@@ -68,6 +90,16 @@ struct RunResult {
                                      const radio::WakeSchedule& schedule,
                                      std::uint64_t seed, Slot max_slots = 0,
                                      radio::MediumOptions medium = {});
+
+/// `run_coloring` with observability: identical protocol execution (same
+/// seeds, same RNG streams, bit-identical coloring), but run on an engine
+/// instantiation that emits structured events into the sinks requested by
+/// `trace` — a per-window metrics series and/or a JSONL event log.
+[[nodiscard]] RunResult run_coloring_traced(
+    const graph::Graph& g, const Params& params,
+    const radio::WakeSchedule& schedule, std::uint64_t seed,
+    const TraceOptions& trace, Slot max_slots = 0,
+    radio::MediumOptions medium = {});
 
 /// A conservative default slot budget: enough for the theory bound
 /// O(κ₂⁴ Δ log n) after the last wake-up, with headroom.

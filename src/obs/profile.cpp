@@ -1,0 +1,45 @@
+#include "obs/profile.hpp"
+
+namespace urn::obs {
+
+CounterRegistry& CounterRegistry::global() {
+  static CounterRegistry instance;
+  return instance;
+}
+
+std::uint64_t& CounterRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), 0).first->second;
+}
+
+std::uint64_t CounterRegistry::value(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void CounterRegistry::add_duration(std::string_view name, std::uint64_t ns) {
+  std::string key(name);
+  counter(key + ".ns") += ns;
+  counter(key + ".calls") += 1;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot()
+    const {
+  return {counters_.begin(), counters_.end()};
+}
+
+void CounterRegistry::report(std::FILE* out) const {
+  for (const auto& [name, value] : counters_) {
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, ".ns") == 0) {
+      std::fprintf(out, "%-40s %12llu  (%.3f ms)\n", name.c_str(),
+                   static_cast<unsigned long long>(value),
+                   static_cast<double>(value) / 1e6);
+    } else {
+      std::fprintf(out, "%-40s %12llu\n", name.c_str(),
+                   static_cast<unsigned long long>(value));
+    }
+  }
+}
+
+}  // namespace urn::obs

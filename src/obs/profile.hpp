@@ -1,0 +1,83 @@
+/// \file profile.hpp
+/// \brief Lightweight wall-clock profiling scopes and a named-counter
+///        registry for the runner and the bench harness.
+///
+/// `ProfileScope` measures the wall-clock time of a block (RAII) and
+/// accumulates it, by name, into a `CounterRegistry`: each scope `name`
+/// maintains `<name>.ns` (total nanoseconds) and `<name>.calls`.
+/// Free-form counters (`registry.counter("engine.runs")++`) share the
+/// same namespace, so one report covers both.  The registry is a plain
+/// single-threaded value type; `CounterRegistry::global()` is the
+/// process-wide instance the runner and bench binaries use.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace urn::obs {
+
+/// Ordered name → value counter map.  Not thread-safe (the whole repo is
+/// single-threaded per run).
+class CounterRegistry {
+ public:
+  /// The process-wide registry.
+  static CounterRegistry& global();
+
+  /// Value cell for `name`, created at 0 on first use.
+  std::uint64_t& counter(std::string_view name);
+
+  /// Read-only lookup; 0 if absent.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+
+  /// Accumulate a duration under `<name>.ns` / `<name>.calls`.
+  void add_duration(std::string_view name, std::uint64_t ns);
+
+  /// Snapshot of all counters, name-sorted.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot()
+      const;
+
+  /// Print `name value` lines (durations rendered in ms alongside ns).
+  void report(std::FILE* out) const;
+
+  void clear() { counters_.clear(); }
+  [[nodiscard]] bool empty() const { return counters_.empty(); }
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+/// RAII wall-clock timer; records into the registry on destruction.
+class ProfileScope {
+ public:
+  explicit ProfileScope(std::string_view name,
+                        CounterRegistry* registry = &CounterRegistry::global())
+      : name_(name),
+        registry_(registry),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  ~ProfileScope() { registry_->add_duration(name_, elapsed_ns()); }
+
+  /// Nanoseconds since construction (scope still open).
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+  }
+
+ private:
+  std::string name_;
+  CounterRegistry* registry_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace urn::obs

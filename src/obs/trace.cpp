@@ -1,0 +1,187 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <sstream>
+
+namespace urn::obs {
+
+ParsedLog read_jsonl(std::istream& is) {
+  ParsedLog out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ++out.lines;
+    Event e;
+    if (parse_jsonl_line(line, e)) {
+      out.events.push_back(e);
+    } else {
+      ++out.bad_lines;
+    }
+  }
+  return out;
+}
+
+ParsedLogFile read_jsonl_file(const std::string& path) {
+  ParsedLogFile out;
+  std::ifstream is(path);
+  if (!is) return out;
+  static_cast<ParsedLog&>(out) = read_jsonl(is);
+  out.ok = true;
+  return out;
+}
+
+std::vector<NodeTimeline> build_timelines(const std::vector<Event>& events) {
+  std::map<NodeId, NodeTimeline> by_node;
+  auto timeline = [&by_node](NodeId v) -> NodeTimeline& {
+    NodeTimeline& t = by_node[v];
+    t.node = v;
+    return t;
+  };
+  for (const Event& e : events) {
+    NodeTimeline& t = timeline(e.node);
+    switch (e.kind) {
+      case EventKind::kWake:
+        if (t.wake_slot < 0) t.wake_slot = e.slot;
+        break;
+      case EventKind::kTransmit:
+        ++t.transmissions;
+        break;
+      case EventKind::kDelivery:
+        ++t.deliveries;
+        break;
+      case EventKind::kCollision:
+        ++t.collisions;
+        break;
+      case EventKind::kDrop:
+        break;  // counted at neither endpoint: a drop is a non-event to v
+      case EventKind::kPhase:
+        t.phases.push_back(e);
+        if (e.phase == static_cast<std::uint8_t>(PhaseCode::kDecided)) {
+          if (t.decision_slot < 0) t.decision_slot = e.slot;
+          t.final_color = e.color;
+        }
+        break;
+      case EventKind::kReset:
+        ++t.resets;
+        break;
+      case EventKind::kDecision:
+        if (t.decision_slot < 0) t.decision_slot = e.slot;
+        if (e.color >= 0) t.final_color = e.color;
+        break;
+      case EventKind::kServe:
+        break;
+    }
+  }
+  std::vector<NodeTimeline> out;
+  out.reserve(by_node.size());
+  for (auto& [v, t] : by_node) out.push_back(std::move(t));
+  return out;
+}
+
+namespace {
+
+[[nodiscard]] bool is_verify(const Event& e) {
+  return e.phase == static_cast<std::uint8_t>(PhaseCode::kVerify);
+}
+[[nodiscard]] bool is_request(const Event& e) {
+  return e.phase == static_cast<std::uint8_t>(PhaseCode::kRequest);
+}
+[[nodiscard]] bool is_decided(const Event& e) {
+  return e.phase == static_cast<std::uint8_t>(PhaseCode::kDecided);
+}
+
+[[nodiscard]] std::string describe(const Event& e) {
+  std::ostringstream os;
+  os << phase_name(e.phase);
+  if (!is_request(e)) os << "(" << e.color << ")";
+  return std::move(os).str();
+}
+
+}  // namespace
+
+Fig2Report validate_fig2(const std::vector<Event>& events,
+                         std::uint32_t kappa2) {
+  Fig2Report report;
+  const std::vector<NodeTimeline> timelines = build_timelines(events);
+  report.nodes_checked = timelines.size();
+
+  for (const NodeTimeline& t : timelines) {
+    auto violate = [&report, &t](Slot slot, std::string what) {
+      report.violations.push_back({t.node, slot, std::move(what)});
+    };
+
+    if (t.phases.empty()) {
+      if (t.wake_slot >= 0) {
+        violate(t.wake_slot, "woke but recorded no A0 entry");
+      }
+      continue;
+    }
+
+    const Event& first = t.phases.front();
+    if (!is_verify(first) || first.color != 0) {
+      violate(first.slot, "first transition is " + describe(first) +
+                              ", expected verify(0) [Z -> A0]");
+    }
+    if (t.wake_slot >= 0 && first.slot < t.wake_slot) {
+      violate(first.slot, "entered A0 before the wake event");
+    }
+
+    for (std::size_t i = 0; i + 1 < t.phases.size(); ++i) {
+      const Event& a = t.phases[i];
+      const Event& b = t.phases[i + 1];
+      ++report.transitions_checked;
+      if (b.slot < a.slot) {
+        violate(b.slot, "transition slots go backwards");
+      }
+      if (is_decided(a)) {
+        violate(b.slot, "left terminal state " + describe(a) + " for " +
+                            describe(b));
+        continue;
+      }
+      if (is_verify(a) && a.color == 0) {
+        // A0 -> C0 | R.
+        const bool to_leader = is_decided(b) && b.color == 0;
+        if (!to_leader && !is_request(b)) {
+          violate(b.slot, "illegal A0 exit to " + describe(b) +
+                              " (want decided(0) or request)");
+        }
+      } else if (is_request(a)) {
+        // R -> A_{tc(k2+1)}, tc >= 1.
+        if (!is_verify(b) || b.color <= 0) {
+          violate(b.slot, "illegal R exit to " + describe(b) +
+                              " (want verify(i), i > 0)");
+        } else if (kappa2 > 0 &&
+                   b.color % (static_cast<std::int32_t>(kappa2) + 1) != 0) {
+          violate(b.slot, "R exit color " + std::to_string(b.color) +
+                              " not a multiple of kappa2+1");
+        }
+      } else {
+        // A_i (i > 0) -> C_i | A_{i+1}.
+        if (is_decided(b)) {
+          if (b.color != a.color) {
+            violate(b.slot, "decided color " + std::to_string(b.color) +
+                                " from verify(" + std::to_string(a.color) +
+                                ")");
+          }
+        } else if (!is_verify(b) || b.color != a.color + 1) {
+          violate(b.slot, "illegal A_i exit to " + describe(b) +
+                              " from " + describe(a));
+        }
+      }
+    }
+
+    // A recorded decision event must agree with the final C_i entry.
+    const Event& last = t.phases.back();
+    if (t.decision_slot >= 0 && is_decided(last) &&
+        t.final_color != last.color) {
+      violate(t.decision_slot, "decision event color disagrees with the "
+                               "final decided transition");
+    }
+  }
+  return report;
+}
+
+}  // namespace urn::obs

@@ -26,6 +26,14 @@
 /// (4) delivers at most one message per listening node via `on_receive`.
 /// State changes made in `on_receive` therefore take effect in the next
 /// slot, matching the paper's slot granularity.
+///
+/// **Observability.**  The engine takes a second template parameter, an
+/// `obs::EventSink`, defaulting to `obs::NullSink`.  With the default every
+/// emission site is discarded at compile time (`if constexpr`), so the hot
+/// loop is exactly the pre-tracing loop — m1_micro pins this.  With a real
+/// sink the engine emits wake / transmit / delivery / collision / drop /
+/// decision events, and hands protocols a hook in `SlotContext` through
+/// which they emit their own (phase transitions, counter resets, serves).
 
 #pragma once
 
@@ -36,12 +44,24 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/event.hpp"
+#include "obs/sink.hpp"
 #include "radio/message.hpp"
 #include "radio/wakeup.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
 namespace urn::radio {
+
+// The obs layer mirrors MsgType as small integer codes; keep them in sync.
+static_assert(static_cast<std::uint8_t>(MsgType::kCompete) ==
+              static_cast<std::uint8_t>(obs::MsgCode::kCompete));
+static_assert(static_cast<std::uint8_t>(MsgType::kDecided) ==
+              static_cast<std::uint8_t>(obs::MsgCode::kDecided));
+static_assert(static_cast<std::uint8_t>(MsgType::kAssign) ==
+              static_cast<std::uint8_t>(obs::MsgCode::kAssign));
+static_assert(static_cast<std::uint8_t>(MsgType::kRequest) ==
+              static_cast<std::uint8_t>(obs::MsgCode::kRequest));
 
 /// Per-node, per-slot view handed to protocol callbacks.
 struct SlotContext {
@@ -50,7 +70,18 @@ struct SlotContext {
   Slot awake_for = 0;  ///< slots since this node's wake-up (0 in the wake slot)
   Rng* rng = nullptr;  ///< per-node deterministic stream
 
+  /// Optional event hook (set by a tracing engine; null when tracing is
+  /// off).  Protocols emit their protocol-level events through this.
+  void* events_sink = nullptr;
+  void (*events_fn)(void*, const obs::Event&) = nullptr;
+
   [[nodiscard]] Rng& random() const { return *rng; }
+
+  /// True when a sink is attached (protocols may skip event construction).
+  [[nodiscard]] bool tracing() const { return events_fn != nullptr; }
+  void emit(const obs::Event& e) const {
+    if (events_fn != nullptr) events_fn(events_sink, e);
+  }
 };
 
 /// Node-protocol concept; see file comment for callback semantics.
@@ -88,18 +119,22 @@ struct MediumOptions {
 
 /// The slotted-medium engine; owns the per-node protocol instances.
 /// Holds the graph **by reference** (hot-loop performance): the graph must
-/// outlive the engine.
-template <NodeProtocol P>
+/// outlive the engine.  `S` is the event sink; the default `obs::NullSink`
+/// compiles all tracing away.
+template <NodeProtocol P, obs::EventSink S = obs::NullSink>
 class Engine {
  public:
   /// \pre nodes.size() == g.num_nodes() == schedule.size()
+  /// \param sink event sink; may be null even for enabled sink types (no
+  ///        events are emitted then).  The sink must outlive the engine.
   Engine(const graph::Graph& g, WakeSchedule schedule, std::vector<P> nodes,
-         std::uint64_t seed, MediumOptions medium = {})
+         std::uint64_t seed, MediumOptions medium = {}, S* sink = nullptr)
       : graph_(g),
         schedule_(std::move(schedule)),
         nodes_(std::move(nodes)),
         medium_(medium),
         medium_rng_(mix_seed(seed, 0xFADEDull)),
+        sink_(sink),
         awake_(g.num_nodes(), false),
         dead_(g.num_nodes(), false),
         decision_slot_(g.num_nodes(), kUndecided),
@@ -132,6 +167,7 @@ class Engine {
       const NodeId v = wake_order_[next_wake_++];
       awake_[v] = true;
       awake_list_.push_back(v);
+      emit([&] { return obs::Event::wake(now, v); });
       SlotContext ctx = context(v, now);
       nodes_[v].on_wake(ctx);
     }
@@ -144,6 +180,11 @@ class Engine {
       if (std::optional<Message> msg = nodes_[v].on_slot(ctx)) {
         URN_DCHECK(msg->sender == v);
         transmitters_.push_back(*msg);
+        emit([&] {
+          return obs::Event::transmit(now, v,
+                                      static_cast<std::uint8_t>(msg->type),
+                                      msg->color_index, msg->counter);
+        });
       }
     }
     stats_.transmissions += transmitters_.size();
@@ -174,14 +215,24 @@ class Engine {
           if (medium_.drop_probability > 0.0 &&
               medium_rng_.chance(medium_.drop_probability)) {
             ++stats_.dropped;  // fading: clean reception lost anyway
+            emit([&] {
+              return obs::Event::drop(now, u, msg.sender,
+                                      static_cast<std::uint8_t>(msg.type));
+            });
           } else {
             ++stats_.deliveries;
+            emit([&] {
+              return obs::Event::delivery(
+                  now, u, msg.sender, static_cast<std::uint8_t>(msg.type),
+                  msg.color_index);
+            });
             SlotContext ctx = context(u, now);
             nodes_[u].on_receive(ctx, msg);
           }
           tx_count_[u] = kDelivered;  // at most one delivery per slot
         } else if (tx_count_[u] >= 2 && tx_count_[u] < kDelivered) {
           ++stats_.collisions;
+          emit([&] { return obs::Event::collision(now, u); });
           tx_count_[u] = kDelivered;  // count the collision once
         }
       }
@@ -192,6 +243,10 @@ class Engine {
       if (!dead_[v] && decision_slot_[v] == kUndecided &&
           nodes_[v].decided()) {
         decision_slot_[v] = now;
+        emit([&] {
+          return obs::Event::decision(now, v, /*color=*/-1,
+                                      now - schedule_.wake_slot(v));
+        });
       }
     }
 
@@ -208,6 +263,9 @@ class Engine {
       if (all_decided()) break;
     }
     stats_.all_decided = all_decided();
+    if constexpr (S::kEnabled) {
+      if (sink_ != nullptr) sink_->flush();
+    }
     return stats_;
   }
 
@@ -253,12 +311,30 @@ class Engine {
   static constexpr std::uint32_t kSelfBusy = 0x40000000;
   static constexpr std::uint32_t kDelivered = 0x20000000;
 
+  /// Emit an event built by `make` — compiled away entirely for NullSink
+  /// (the lambda is never instantiated, so event construction costs
+  /// nothing when tracing is off).
+  template <typename MakeEvent>
+  void emit(MakeEvent&& make) {
+    if constexpr (S::kEnabled) {
+      if (sink_ != nullptr) sink_->record(make());
+    }
+  }
+
   [[nodiscard]] SlotContext context(NodeId v, Slot now) {
     SlotContext ctx;
     ctx.id = v;
     ctx.now = now;
     ctx.awake_for = now - schedule_.wake_slot(v);
     ctx.rng = &rngs_[v];
+    if constexpr (S::kEnabled) {
+      if (sink_ != nullptr) {
+        ctx.events_sink = sink_;
+        ctx.events_fn = [](void* sink, const obs::Event& e) {
+          static_cast<S*>(sink)->record(e);
+        };
+      }
+    }
     return ctx;
   }
 
@@ -267,6 +343,7 @@ class Engine {
   std::vector<P> nodes_;
   MediumOptions medium_;
   Rng medium_rng_;
+  S* sink_;
   std::vector<Rng> rngs_;
 
   Slot slot_ = 0;

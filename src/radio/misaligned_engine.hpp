@@ -38,17 +38,19 @@
 
 namespace urn::radio {
 
-template <NodeProtocol P>
+template <NodeProtocol P, obs::EventSink S = obs::NullSink>
 class MisalignedEngine {
  public:
   /// \param offsets per-node phase offset in half-slots (each 0 or 1)
+  /// \param sink    optional event sink (slots in events are *local* slots)
   MisalignedEngine(const graph::Graph& g, WakeSchedule schedule,
                    std::vector<P> nodes, std::vector<std::uint8_t> offsets,
-                   std::uint64_t seed)
+                   std::uint64_t seed, S* sink = nullptr)
       : graph_(g),
         schedule_(std::move(schedule)),
         nodes_(std::move(nodes)),
         offsets_(std::move(offsets)),
+        sink_(sink),
         awake_(g.num_nodes(), false),
         decision_slot_(g.num_nodes(), kUndecided),
         tx_until_half_(g.num_nodes(), -1),
@@ -86,6 +88,7 @@ class MisalignedEngine {
       if (local < schedule_.wake_slot(v)) continue;
       if (!awake_[v]) {
         awake_[v] = true;
+        emit([&] { return obs::Event::wake(local, v); });
         SlotContext ctx = context(v, local);
         nodes_[v].on_wake(ctx);
       }
@@ -93,12 +96,21 @@ class MisalignedEngine {
       if (std::optional<Message> msg = nodes_[v].on_slot(ctx)) {
         URN_DCHECK(msg->sender == v);
         ++stats_.transmissions;
+        emit([&] {
+          return obs::Event::transmit(local, v,
+                                      static_cast<std::uint8_t>(msg->type),
+                                      msg->color_index, msg->counter);
+        });
         tx_until_half_[v] = h + 1;  // occupies halves h and h+1
         active_.push_back({*msg, h});
         started_now_.push_back(v);
       }
       if (decision_slot_[v] == kUndecided && nodes_[v].decided()) {
         decision_slot_[v] = local;
+        emit([&] {
+          return obs::Event::decision(local, v, /*color=*/-1,
+                                      local - schedule_.wake_slot(v));
+        });
       }
     }
 
@@ -126,13 +138,25 @@ class MisalignedEngine {
         if (clear) {
           ++stats_.deliveries;
           const Slot local = (h - offsets_[u]) / 2;
+          emit([&] {
+            return obs::Event::delivery(
+                local, u, tx.msg.sender,
+                static_cast<std::uint8_t>(tx.msg.type), tx.msg.color_index);
+          });
           SlotContext ctx = context(u, local);
           nodes_[u].on_receive(ctx, tx.msg);
           if (decision_slot_[u] == kUndecided && nodes_[u].decided()) {
             decision_slot_[u] = local;
+            emit([&] {
+              return obs::Event::decision(local, u, /*color=*/-1,
+                                          local - schedule_.wake_slot(u));
+            });
           }
         } else if (nbr_count_[prev][u] >= 2 || nbr_count_[parity][u] >= 2) {
           ++stats_.collisions;
+          emit([&] {
+            return obs::Event::collision((h - offsets_[u]) / 2, u);
+          });
         }
       }
       active_[i] = active_.back();
@@ -151,6 +175,9 @@ class MisalignedEngine {
       if (all_decided()) break;
     }
     stats_.all_decided = all_decided();
+    if constexpr (S::kEnabled) {
+      if (sink_ != nullptr) sink_->flush();
+    }
     return stats_;
   }
 
@@ -181,12 +208,28 @@ class MisalignedEngine {
     std::int64_t start_half;
   };
 
+  /// Compiled away entirely for NullSink (see Engine::emit).
+  template <typename MakeEvent>
+  void emit(MakeEvent&& make) {
+    if constexpr (S::kEnabled) {
+      if (sink_ != nullptr) sink_->record(make());
+    }
+  }
+
   [[nodiscard]] SlotContext context(graph::NodeId v, Slot local) {
     SlotContext ctx;
     ctx.id = v;
     ctx.now = local;
     ctx.awake_for = local - schedule_.wake_slot(v);
     ctx.rng = &rngs_[v];
+    if constexpr (S::kEnabled) {
+      if (sink_ != nullptr) {
+        ctx.events_sink = sink_;
+        ctx.events_fn = [](void* sink, const obs::Event& e) {
+          static_cast<S*>(sink)->record(e);
+        };
+      }
+    }
     return ctx;
   }
 
@@ -194,6 +237,7 @@ class MisalignedEngine {
   WakeSchedule schedule_;
   std::vector<P> nodes_;
   std::vector<std::uint8_t> offsets_;
+  S* sink_ = nullptr;
   std::vector<Rng> rngs_;
 
   std::int64_t half_ = 0;

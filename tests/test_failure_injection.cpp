@@ -125,6 +125,66 @@ TEST_P(ProtocolUnderFading, ModerateFadingOnlySlowsItDown) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolUnderFading, ::testing::Range(0, 4));
 
+TEST(ProtocolUnderFading, ExplicitZeroDropIsBitIdenticalToIdealMedium) {
+  // MediumOptions{drop_probability = 0} must not even consult the medium
+  // RNG: the run is bit-for-bit the ideal collision-only medium, which
+  // the differential/reference tests rely on.
+  Rng rng(123);
+  const auto net = graph::random_udg(60, 5.5, 1.4, rng);
+  const auto delta = std::max(2u, net.graph.max_closed_degree());
+  const core::Params p =
+      core::Params::practical(net.graph.num_nodes(), delta, 5, 12);
+  Rng wrng(321);
+  const auto ws =
+      WakeSchedule::uniform(net.graph.num_nodes(), 2 * p.threshold(), wrng);
+
+  MediumOptions zero_drop;
+  zero_drop.drop_probability = 0.0;
+  const auto ideal = core::run_coloring(net.graph, p, ws, 17, 0, {});
+  const auto zeroed = core::run_coloring(net.graph, p, ws, 17, 0, zero_drop);
+
+  EXPECT_EQ(zeroed.colors, ideal.colors);
+  EXPECT_EQ(zeroed.wake_slot, ideal.wake_slot);
+  EXPECT_EQ(zeroed.decision_slot, ideal.decision_slot);
+  EXPECT_EQ(zeroed.leader_of, ideal.leader_of);
+  EXPECT_EQ(zeroed.medium.slots_run, ideal.medium.slots_run);
+  EXPECT_EQ(zeroed.medium.transmissions, ideal.medium.transmissions);
+  EXPECT_EQ(zeroed.medium.deliveries, ideal.medium.deliveries);
+  EXPECT_EQ(zeroed.medium.collisions, ideal.medium.collisions);
+  EXPECT_EQ(zeroed.medium.dropped, 0u);
+  EXPECT_EQ(ideal.medium.dropped, 0u);
+}
+
+TEST(ProtocolUnderFading, DropsAreCountedAndTracedConsistently) {
+  // Every injected drop shows up once in RunStats::dropped, and a traced
+  // run reports exactly that many kDrop events.
+  Rng rng(55);
+  const auto net = graph::random_udg(50, 5.0, 1.4, rng);
+  const auto delta = std::max(2u, net.graph.max_closed_degree());
+  const core::Params p =
+      core::Params::practical(net.graph.num_nodes(), delta, 5, 12);
+  MediumOptions medium;
+  medium.drop_probability = 0.3;
+  const auto ws = WakeSchedule::synchronous(net.graph.num_nodes());
+
+  core::TraceOptions trace;
+  trace.metrics = true;
+  trace.metrics_window = 64;
+  const auto run =
+      core::run_coloring_traced(net.graph, p, ws, 21, trace, 0, medium);
+  ASSERT_TRUE(run.all_decided);
+  EXPECT_GT(run.medium.dropped, 0u);
+  ASSERT_TRUE(run.series.has_value());
+  std::uint64_t drop_events = 0;
+  std::uint64_t deliveries = 0;
+  for (const auto& row : run.series->rows()) {
+    drop_events += row.drops;
+    deliveries += row.deliveries;
+  }
+  EXPECT_EQ(drop_events, run.medium.dropped);
+  EXPECT_EQ(deliveries, run.medium.deliveries);
+}
+
 TEST(ProtocolUnderCrash, LeaderCrashOrphansItsCluster) {
   // Documented limitation: the paper's protocol has no leader-failure
   // recovery — a cluster member waiting in R for its crashed leader

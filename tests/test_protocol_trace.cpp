@@ -12,7 +12,9 @@
 #include "core/protocol.hpp"
 #include "core/runner.hpp"
 #include "graph/generators.hpp"
+#include "obs/sink.hpp"
 #include "radio/engine.hpp"
+#include "radio/message.hpp"
 #include "support/rng.hpp"
 
 namespace urn::core {
@@ -125,6 +127,55 @@ TEST_P(TraceLegality, VerifyStatesStayInTcRange) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceLegality, ::testing::Range(0, 4));
+
+TEST(TraceLegality, TransitionLogCapsAtKMaxTransitionsButNodeKeepsGoing) {
+  // Drive one node through far more transitions than the log holds by
+  // feeding it M_C^i announcements that keep matching its current verify
+  // color.  The recorded history must cap at kMaxTransitions while the
+  // state machine itself — and the event stream — keep advancing.
+  const Params p = Params::practical(64, 4, 3, 3);
+  ColoringNode node(&p, 0);
+  Rng rng(1);
+  obs::MemorySink sink;
+  radio::SlotContext ctx;
+  ctx.id = 0;
+  ctx.rng = &rng;
+  ctx.events_sink = &sink;
+  ctx.events_fn = [](void* s, const obs::Event& e) {
+    static_cast<obs::MemorySink*>(s)->record(e);
+  };
+
+  ctx.now = 0;
+  node.on_wake(ctx);  // → A₀
+  ctx.now = 1;
+  node.on_receive(ctx, radio::make_decided(9, 0));  // beacon: A₀ → R
+  ctx.now = 2;
+  node.on_receive(ctx, radio::make_assign(9, 0, 1));  // R → A_{κ₂+1}
+  ASSERT_EQ(node.phase(), Phase::kVerify);
+  ASSERT_GT(node.verifying_color(), 0);
+
+  const auto bumps = 2 * ColoringNode::kMaxTransitions;
+  for (std::size_t i = 0; i < bumps; ++i) {
+    ctx.now = static_cast<Slot>(3 + i);
+    node.on_receive(ctx, radio::make_decided(9, node.verifying_color()));
+  }
+
+  EXPECT_EQ(node.transitions().size(), ColoringNode::kMaxTransitions);
+  // The machine itself is unaffected by the cap...
+  EXPECT_EQ(node.phase(), Phase::kVerify);
+  EXPECT_GT(static_cast<std::size_t>(node.verifying_color()),
+            ColoringNode::kMaxTransitions);
+  // ...and so is the event stream: every transition was emitted.
+  std::size_t phase_events = 0;
+  for (const auto& e : sink.events()) {
+    if (e.kind == obs::EventKind::kPhase) ++phase_events;
+  }
+  EXPECT_EQ(phase_events, 3 + bumps);
+  // The capped log is still a legal prefix (slots nondecreasing etc.).
+  for (std::size_t i = 0; i + 1 < node.transitions().size(); ++i) {
+    EXPECT_LE(node.transitions()[i].slot, node.transitions()[i + 1].slot);
+  }
+}
 
 TEST(TraceLegality, LeaderTraceIsMinimal) {
   // An isolated node: A₀ → C₀, exactly two records.
