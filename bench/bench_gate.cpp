@@ -1,0 +1,105 @@
+/// Gate benchmark — the small fixed-seed scenario behind the
+/// `bench_regression` CTest target.
+///
+/// Unlike E1–E15 (minutes of wall clock), this runs in a few seconds:
+/// a 96-node random UDG, a handful of monitored coloring trials plus a
+/// handful of leader-election trials, every seed fixed.  It emits
+/// `BENCH_gate_coloring.json` and `BENCH_gate_leader.json` (with full
+/// `RunLedger` percentile distributions) into `URN_BENCH_JSON`;
+/// `urn_bench_diff` then compares them against `bench/baseline/`.  Runs
+/// are bit-reproducible, so any drift in these numbers is a real
+/// behavioral change — refresh the baselines deliberately (see
+/// EXPERIMENTS.md) when the change is intended.
+///
+/// Exit status: 0 on success, 2 when any monitored trial violates a
+/// paper invariant (via bench::run_traced) or a run goes invalid.
+
+#include "analysis/experiment.hpp"
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace urn;
+  bench::TraceArgs trace = bench::parse_trace_args(argc, argv, "bench_gate");
+  bench::banner("GATE", "fixed-seed regression scenario (see urn_bench_diff)");
+
+  const std::size_t n = 96;
+  Rng rng(0xCA7E);
+  const auto net = graph::random_udg(n, 6.5, 1.5, rng);
+  const auto mp = bench::measured_params(net.graph);
+  std::printf("deployment: n=%zu Delta=%u k1=%u k2=%u\n", n, mp.delta,
+              mp.kappa1, mp.kappa2);
+
+  // ---- monitored coloring trials -----------------------------------------
+  const std::size_t trials = 5;
+  bench::BenchSummary coloring("gate_coloring");
+  coloring.set("n", static_cast<std::uint64_t>(n));
+  coloring.set("delta", mp.delta);
+  coloring.set("kappa2", mp.kappa2);
+  obs::RunLedger ledger;
+  core::TraceOptions monitored;
+  monitored.monitor = true;
+  std::size_t valid = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    Rng wrng(mix_seed(0xCA7EF, t));
+    const auto ws =
+        radio::WakeSchedule::uniform(n, 2 * mp.params.threshold(), wrng);
+    const auto run = core::run_coloring_traced(net.graph, mp.params, ws,
+                                               mix_seed(0xCA7EA, t),
+                                               monitored);
+    if (run.monitor.has_value() && !run.monitor->ok()) {
+      std::fprintf(stderr, "gate trial %llu: INVARIANT VIOLATIONS\n",
+                   static_cast<unsigned long long>(t));
+      obs::print_monitor_report(*run.monitor, stderr);
+      return 2;
+    }
+    if (run.check.valid()) ++valid;
+    bench::ledger_record(ledger, run);
+  }
+  coloring.set("trials", static_cast<std::uint64_t>(trials));
+  coloring.set("valid", static_cast<std::uint64_t>(valid));
+  bench::ledger_emit(coloring, ledger);
+  coloring.emit();
+  std::printf("coloring: %zu/%zu valid, 0 invariant violations\n", valid,
+              trials);
+
+  // ---- leader-election trials --------------------------------------------
+  bench::BenchSummary leader("gate_leader");
+  leader.set("n", static_cast<std::uint64_t>(n));
+  obs::RunLedger lledger;
+  std::size_t covered = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    Rng wrng(mix_seed(0xCA7EB, t));
+    const auto ws =
+        radio::WakeSchedule::uniform(n, 2 * mp.params.threshold(), wrng);
+    const auto run = core::run_leader_election(net.graph, mp.params, ws,
+                                               mix_seed(0xCA7EC, t));
+    if (run.all_covered) ++covered;
+    lledger.add("leaders", static_cast<double>(run.leaders.size()));
+    double max_cover = 0.0;
+    for (radio::Slot s : run.cover_latency) {
+      max_cover = std::max(max_cover, static_cast<double>(s));
+    }
+    lledger.add("cover_latency.max", max_cover);
+    lledger.add("slots.run", static_cast<double>(run.medium.slots_run));
+    lledger.add("collisions.total",
+                static_cast<double>(run.medium.collisions));
+  }
+  leader.set("trials", static_cast<std::uint64_t>(trials));
+  leader.set("covered", static_cast<std::uint64_t>(covered));
+  bench::ledger_emit(leader, lledger);
+  leader.emit();
+  std::printf("leader election: %zu/%zu fully covered\n", covered, trials);
+
+  // One representative traced run for --trace / --metrics-out /
+  // --monitor experimentation on the gate scenario.
+  if (trace.enabled()) {
+    Rng wrng(mix_seed(0xCA7EF, 0));
+    const auto ws =
+        radio::WakeSchedule::uniform(n, 2 * mp.params.threshold(), wrng);
+    (void)bench::run_traced(trace, net.graph, mp.params, ws,
+                            mix_seed(0xCA7EA, 0));
+  }
+  return valid == trials ? 0 : 2;
+}

@@ -12,9 +12,15 @@
 ///    paths ("scenario.n", "medium.collisions"), values JSON scalars.
 ///
 ///  * `TraceArgs` — the standard `--trace` / `--metrics-out` /
-///    `--metrics-window` flag set that lets any experiment record one
-///    representative run as a JSONL event log (for `urn_trace`) and/or a
-///    per-window metrics CSV.
+///    `--metrics-window` / `--monitor` flag set that lets any experiment
+///    record one representative run as a JSONL event log (for
+///    `urn_trace`), a per-window metrics CSV, and/or check the paper's
+///    invariants online (failing the binary with exit 2 on violation).
+///
+///  * `ledger_record` / `ledger_emit` — feed each trial's `RunResult`
+///    into an `obs::RunLedger` and export the percentile summaries
+///    (p50/p95/max latency, max color, peak collisions, resets) into the
+///    `BenchSummary`, so `BENCH_<name>.json` carries distributions.
 
 #pragma once
 
@@ -31,6 +37,8 @@
 #include "core/runner.hpp"
 #include "graph/generators.hpp"
 #include "graph/independence.hpp"
+#include "obs/ledger.hpp"
+#include "obs/monitor.hpp"
 #include "obs/profile.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
@@ -161,15 +169,17 @@ struct TraceArgs {
   std::string trace_path;    ///< --trace: JSONL event log destination
   std::string metrics_path;  ///< --metrics-out: per-window CSV destination
   std::int64_t window = 16;  ///< --metrics-window
+  bool monitor = false;      ///< --monitor: online invariant checks
 
   [[nodiscard]] bool enabled() const {
-    return !trace_path.empty() || !metrics_path.empty();
+    return monitor || !trace_path.empty() || !metrics_path.empty();
   }
   [[nodiscard]] core::TraceOptions options() const {
     core::TraceOptions opts;
     opts.metrics = !metrics_path.empty();
     opts.metrics_window = window;
     opts.events_jsonl = trace_path;
+    opts.monitor = monitor;
     return opts;
   }
 };
@@ -184,6 +194,9 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
   flags.add_string("metrics-out", "",
                    "write that run's per-window metrics series as CSV");
   flags.add_int("metrics-window", 16, "metrics window width in slots");
+  flags.add_bool("monitor", false,
+                 "check the paper's invariants online on the traced run; "
+                 "any violation fails the binary with exit 2");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
                  flags.usage(program).c_str());
@@ -197,6 +210,7 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
   args.trace_path = flags.get_string("trace");
   args.metrics_path = flags.get_string("metrics-out");
   args.window = std::max<std::int64_t>(1, flags.get_int("metrics-window"));
+  args.monitor = flags.get_bool("monitor");
   // Fail on unwritable destinations now, not after the (often long)
   // aggregate loops have already run.
   for (const std::string& path : {args.trace_path, args.metrics_path}) {
@@ -237,7 +251,58 @@ inline core::RunResult run_traced(const TraceArgs& args,
       std::fprintf(stderr, "cannot write %s\n", args.metrics_path.c_str());
     }
   }
+  if (run.monitor.has_value()) {
+    if (!run.monitor->ok()) {
+      std::fprintf(stderr, "monitor: INVARIANT VIOLATIONS\n");
+      obs::print_monitor_report(*run.monitor, stderr);
+      std::exit(2);
+    }
+    std::printf("(monitor: %llu events, %zu nodes, 0 violations)\n",
+                static_cast<unsigned long long>(run.monitor->events_seen),
+                run.monitor->nodes_seen);
+  }
   return run;
+}
+
+/// Feed one trial's headline metrics into the cross-run ledger.
+inline void ledger_record(obs::RunLedger& ledger,
+                          const core::RunResult& run) {
+  ledger.add("latency.max", static_cast<double>(run.max_latency()));
+  ledger.add("latency.mean", run.mean_latency());
+  ledger.add("color.max", static_cast<double>(run.max_color));
+  ledger.add("collisions.total",
+             static_cast<double>(run.medium.collisions));
+  ledger.add("resets.total", static_cast<double>(run.total_resets));
+  ledger.add("slots.run", static_cast<double>(run.medium.slots_run));
+}
+
+/// Feed an `analysis::CoreAggregate`'s per-trial samples into the
+/// ledger (the experiment binaries aggregate through `run_core_trials`,
+/// so the trial-level vectors already exist in its Samples).
+inline void ledger_from_aggregate(obs::RunLedger& ledger,
+                                  const analysis::CoreAggregate& agg) {
+  ledger.add_all("latency.max", agg.max_latency.values());
+  ledger.add_all("latency.mean", agg.mean_latency.values());
+  ledger.add_all("latency.p95", agg.p95_latency.values());
+  ledger.add_all("color.max", agg.max_color.values());
+  ledger.add_all("leaders", agg.leaders.values());
+  ledger.add_all("resets.per_node", agg.resets_per_node.values());
+  ledger.add_all("slots.run", agg.slots_run.values());
+}
+
+/// Export every ledger metric's percentile summary into the bench
+/// summary as `<prefix>.<metric>.{trials,min,mean,p50,p95,max}`.
+inline void ledger_emit(BenchSummary& summary, const obs::RunLedger& ledger,
+                        const std::string& prefix = "ledger") {
+  for (const auto& [metric, s] : ledger.summaries()) {
+    const std::string base = prefix + "." + metric;
+    summary.set(base + ".trials", static_cast<std::uint64_t>(s.trials));
+    summary.set(base + ".min", s.min);
+    summary.set(base + ".mean", s.mean);
+    summary.set(base + ".p50", s.p50);
+    summary.set(base + ".p95", s.p95);
+    summary.set(base + ".max", s.max);
+  }
 }
 
 }  // namespace urn::bench

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
                      "(10 trials each)");
   t1.set_header({"drop_p", "valid", "complete", "mean_T", "slowdown"});
   bench::BenchSummary summary("e15_faults");
+  obs::RunLedger ledger;
   summary.set("n", static_cast<std::uint64_t>(n));
   summary.set("delta", mp.delta);
   summary.set("kappa2", mp.kappa2);
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
       if (run.check.valid()) ++valid;
       if (run.all_decided) ++complete;
       mean_t.add(run.mean_latency());
+      bench::ledger_record(ledger, run);
     }
     if (p == 0.0) baseline_mean = mean_t.mean();
     t1.add_row({analysis::Table::num(p, 2),
@@ -150,6 +152,7 @@ int main(int argc, char** argv) {
                     static_cast<double>(valid_runs) / trials, 2)});
   }
   t2.emit();
+  bench::ledger_emit(summary, ledger);
   summary.add_profile();
   summary.emit();
   std::printf(

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
                     "max_color", "bound k2*Delta", "mean_T", "max_T"});
 
   bench::BenchSummary summary("e1_correctness");
+  obs::RunLedger ledger;
   const std::size_t trials = 20;
   for (std::size_t n : {64u, 128u, 256u, 512u}) {
     // Scale the field with sqrt(n) to keep density constant.
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
                        mp.kappa2 * mp.delta)),
                    analysis::Table::num(agg.mean_latency.mean(), 0),
                    analysis::Table::num(agg.max_latency.max(), 0)});
+    bench::ledger_from_aggregate(ledger, agg);
     const std::string prefix = "n" + std::to_string(n);
     summary.set(prefix + ".valid_fraction", agg.valid_fraction());
     summary.set(prefix + ".completed_fraction", agg.completed_fraction());
@@ -70,6 +72,7 @@ int main(int argc, char** argv) {
   }
   table.emit();
   summary.set("trials", static_cast<std::uint64_t>(trials));
+  bench::ledger_emit(summary, ledger);
   summary.add_profile();
   summary.emit();
   std::printf("Paper: failure probability <= 2/n^3 (with analytical "

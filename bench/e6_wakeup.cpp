@@ -65,12 +65,14 @@ int main(int argc, char** argv) {
   table.set_header(
       {"pattern", "valid", "mean_T", "p95_T", "max_T", "resets/node"});
   bench::BenchSummary summary("e6_wakeup");
+  obs::RunLedger ledger;
   summary.set("n", static_cast<std::uint64_t>(n));
   summary.set("delta", mp.delta);
   summary.set("kappa2", mp.kappa2);
   for (const Pattern& p : patterns) {
     const auto agg = analysis::run_core_trials(net.graph, mp.params,
                                                p.factory, trials, 0xE6F0);
+    bench::ledger_from_aggregate(ledger, agg);
     table.add_row({p.name, analysis::Table::num(agg.valid_fraction(), 2),
                    analysis::Table::num(agg.mean_latency.mean(), 0),
                    analysis::Table::num(agg.p95_latency.mean(), 0),
@@ -93,6 +95,7 @@ int main(int argc, char** argv) {
     }
   }
   table.emit();
+  bench::ledger_emit(summary, ledger);
   summary.add_profile();
   summary.emit();
   std::printf("Paper shape: latency (measured from each node's own wake-up) "

@@ -101,6 +101,9 @@ int main(int argc, char** argv) {
   flags.add_string("metrics-out", "",
                    "write trial 0's per-window metrics series as CSV");
   flags.add_int("metrics-window", 16, "metrics window width in slots");
+  flags.add_bool("monitor", false,
+                 "check the paper's invariants online on every trial; any "
+                 "violation fails the run with exit 2");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
@@ -139,6 +142,7 @@ int main(int argc, char** argv) {
   trace.metrics = !flags.get_string("metrics-out").empty();
   trace.metrics_window =
       std::max<std::int64_t>(1, flags.get_int("metrics-window"));
+  const bool monitor = flags.get_bool("monitor");
   const bool tracing = trace.metrics || !trace.events_jsonl.empty();
   // Reject unwritable destinations up front rather than aborting mid-run.
   for (const std::string& path :
@@ -154,19 +158,32 @@ int main(int argc, char** argv) {
 
   const auto trials = static_cast<std::size_t>(flags.get_int("trials"));
   std::size_t valid = 0;
+  std::uint64_t monitored_events = 0;
   Samples mean_lat, max_lat, colors;
   core::RunResult last;
   for (std::size_t t = 0; t < trials; ++t) {
     Rng wrng(mix_seed(seed, 1000 + t));
     const auto schedule = build_wake(flags, net, params, wrng);
-    // Sinks never touch the RNG streams, so the traced trial 0 is
-    // bit-identical to what run_coloring would have produced.
+    // Trial 0 carries the trace/metrics sinks; --monitor applies to every
+    // trial.  Sinks never touch the RNG streams, so traced and monitored
+    // runs are bit-identical to what run_coloring would have produced.
+    core::TraceOptions topts = (tracing && t == 0) ? trace : core::TraceOptions{};
+    topts.monitor = monitor;
+    const bool use_traced = monitor || (tracing && t == 0);
     const auto run =
-        (tracing && t == 0)
+        use_traced
             ? core::run_coloring_traced(net.graph, params, schedule,
-                                        mix_seed(seed, t), trace)
+                                        mix_seed(seed, t), topts)
             : core::run_coloring(net.graph, params, schedule,
                                  mix_seed(seed, t));
+    if (run.monitor.has_value()) {
+      monitored_events += run.monitor->events_seen;
+      if (!run.monitor->ok()) {
+        std::fprintf(stderr, "trial %zu: INVARIANT VIOLATIONS\n", t);
+        obs::print_monitor_report(*run.monitor, stderr);
+        return 2;
+      }
+    }
     if (tracing && t == 0) {
       if (!trace.events_jsonl.empty()) {
         std::printf("(trace: %llu events -> %s)\n",
@@ -200,6 +217,10 @@ int main(int argc, char** argv) {
               "max color %.0f (bound (k2+1)*Delta=%u)\n",
               valid, trials, mean_lat.mean(), max_lat.max(), colors.max(),
               (k2 + 1) * delta);
+  if (monitor) {
+    std::printf("monitor: %llu events across %zu trials, 0 violations\n",
+                static_cast<unsigned long long>(monitored_events), trials);
+  }
 
   if (flags.get_bool("tdma") && last.check.valid()) {
     const auto tdma = core::derive_tdma(net.graph, last.colors);

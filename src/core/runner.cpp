@@ -97,55 +97,30 @@ RunResult run_impl(const graph::Graph& g, const Params& params,
   return result;
 }
 
-}  // namespace
-
-RunResult run_coloring(const graph::Graph& g, const Params& params,
-                       const radio::WakeSchedule& schedule,
-                       std::uint64_t seed, Slot max_slots,
-                       radio::MediumOptions medium) {
-  return run_impl<obs::NullSink>(g, params, schedule, seed, max_slots,
-                                 medium, nullptr);
-}
-
-RunResult run_coloring_traced(const graph::Graph& g, const Params& params,
-                              const radio::WakeSchedule& schedule,
-                              std::uint64_t seed, const TraceOptions& trace,
-                              Slot max_slots, radio::MediumOptions medium) {
-  obs::MetricsSink metrics(trace.metrics_window);
-  std::optional<obs::JsonlSink> jsonl;
-  if (!trace.events_jsonl.empty()) jsonl.emplace(trace.events_jsonl);
-  URN_CHECK_MSG(!jsonl || jsonl->ok(),
-                "run_coloring_traced: cannot open " << trace.events_jsonl);
-
-  obs::TeeSink<obs::MetricsSink, obs::JsonlSink> tee(
-      trace.metrics ? &metrics : nullptr, jsonl ? &*jsonl : nullptr);
-  RunResult result = run_impl(g, params, schedule, seed, max_slots, medium,
-                              &tee);
-  if (trace.metrics) {
-    result.series = metrics.finish(result.medium.slots_run);
-  }
-  if (jsonl) {
-    jsonl->flush();
-    result.events_recorded = jsonl->written();
-  }
-  return result;
-}
-
-LeaderElectionResult run_leader_election(const graph::Graph& g,
-                                         const Params& params,
-                                         const radio::WakeSchedule& schedule,
-                                         std::uint64_t seed,
-                                         Slot max_slots) {
+/// Run only the first stage (leader election + cluster association) on
+/// the same sink-templated engine path as `run_impl`: identical node
+/// construction, medium options and event emission — only the stopping
+/// rule differs (manual stepping until every node is covered).
+template <obs::EventSink S>
+LeaderElectionResult leader_election_impl(const graph::Graph& g,
+                                          const Params& params,
+                                          const radio::WakeSchedule& schedule,
+                                          std::uint64_t seed, Slot max_slots,
+                                          radio::MediumOptions medium,
+                                          S* sink) {
   params.validate();
   URN_CHECK(schedule.size() == g.num_nodes());
   if (max_slots == 0) max_slots = default_slot_budget(params, schedule);
+
+  obs::ProfileScope profile("core.run_leader_election");
 
   std::vector<ColoringNode> nodes;
   nodes.reserve(g.num_nodes());
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     nodes.emplace_back(&params, v);
   }
-  radio::Engine<ColoringNode> engine(g, schedule, std::move(nodes), seed);
+  radio::Engine<ColoringNode, S> engine(g, schedule, std::move(nodes), seed,
+                                        medium, sink);
 
   LeaderElectionResult result;
   result.leader_of.assign(g.num_nodes(), graph::kInvalidNode);
@@ -172,6 +147,9 @@ LeaderElectionResult run_leader_election(const graph::Graph& g,
       }
     }
   }
+  if constexpr (S::kEnabled) {
+    if (sink != nullptr) sink->flush();
+  }
   result.all_covered = uncovered == 0;
   result.medium = engine.stats();
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -179,6 +157,116 @@ LeaderElectionResult run_leader_election(const graph::Graph& g,
     if (node.is_leader()) result.leaders.push_back(v);
     result.leader_of[v] = node.leader();
   }
+
+  auto& counters = obs::CounterRegistry::global();
+  counters.counter("core.run_leader_election.runs") += 1;
+  counters.counter("core.run_leader_election.slots") +=
+      static_cast<std::uint64_t>(result.medium.slots_run);
+  return result;
+}
+
+/// The sink stack every traced entry point shares: metrics + JSONL +
+/// online monitor, each optional, fanned out through nested TeeSinks.
+struct TraceSinks {
+  using Inner = obs::TeeSink<obs::MetricsSink, obs::JsonlSink>;
+  using Tee = obs::TeeSink<Inner, obs::InvariantMonitorSink>;
+
+  obs::MetricsSink metrics;
+  std::optional<obs::JsonlSink> jsonl;
+  std::optional<obs::InvariantMonitorSink> monitor;
+  std::optional<Inner> inner;
+  std::optional<Tee> tee;
+
+  TraceSinks(const graph::Graph& g, const Params& params,
+             const radio::WakeSchedule& schedule, const TraceOptions& trace)
+      : metrics(trace.metrics_window) {
+    if (!trace.events_jsonl.empty()) {
+      jsonl.emplace(trace.events_jsonl);
+      URN_CHECK_MSG(jsonl->ok(),
+                    "traced run: cannot open " << trace.events_jsonl);
+    }
+    if (trace.monitor) {
+      monitor.emplace(make_monitor_config(g, params, schedule));
+    }
+    inner.emplace(trace.metrics ? &metrics : nullptr,
+                  jsonl ? &*jsonl : nullptr);
+    tee.emplace(&*inner, monitor ? &*monitor : nullptr);
+  }
+
+  /// Harvest the artifacts into a result that carries the shared
+  /// `series` / `events_recorded` / `monitor` fields.
+  template <typename Result>
+  void finish_into(Result& result, Slot slots_run,
+                   const TraceOptions& trace) {
+    if (trace.metrics) result.series = metrics.finish(slots_run);
+    if (jsonl) {
+      jsonl->flush();
+      result.events_recorded = jsonl->written();
+    }
+    if (monitor) result.monitor = monitor->report();
+  }
+};
+
+}  // namespace
+
+obs::MonitorConfig make_monitor_config(const graph::Graph& g,
+                                       const Params& params,
+                                       const radio::WakeSchedule& schedule) {
+  obs::MonitorConfig config;
+  config.kappa2 = params.kappa2;
+  // Theorem 3 budget is per node, measured from its own wake-up: the run
+  // budget minus the latest wake slot it covers.
+  config.latency_budget =
+      default_slot_budget(params, schedule) - schedule.latest();
+  config.theta.reserve(g.num_nodes());
+  config.adj_offsets.reserve(g.num_nodes() + 1);
+  config.adj.reserve(2 * g.num_edges());
+  config.adj_offsets.push_back(0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    config.theta.push_back(graph::local_density_theta(g, v));
+    for (graph::NodeId u : g.neighbors(v)) config.adj.push_back(u);
+    config.adj_offsets.push_back(
+        static_cast<std::uint32_t>(config.adj.size()));
+  }
+  return config;
+}
+
+RunResult run_coloring(const graph::Graph& g, const Params& params,
+                       const radio::WakeSchedule& schedule,
+                       std::uint64_t seed, Slot max_slots,
+                       radio::MediumOptions medium) {
+  return run_impl<obs::NullSink>(g, params, schedule, seed, max_slots,
+                                 medium, nullptr);
+}
+
+RunResult run_coloring_traced(const graph::Graph& g, const Params& params,
+                              const radio::WakeSchedule& schedule,
+                              std::uint64_t seed, const TraceOptions& trace,
+                              Slot max_slots, radio::MediumOptions medium) {
+  TraceSinks sinks(g, params, schedule, trace);
+  RunResult result = run_impl(g, params, schedule, seed, max_slots, medium,
+                              &*sinks.tee);
+  sinks.finish_into(result, result.medium.slots_run, trace);
+  return result;
+}
+
+LeaderElectionResult run_leader_election(const graph::Graph& g,
+                                         const Params& params,
+                                         const radio::WakeSchedule& schedule,
+                                         std::uint64_t seed, Slot max_slots,
+                                         radio::MediumOptions medium) {
+  return leader_election_impl<obs::NullSink>(g, params, schedule, seed,
+                                             max_slots, medium, nullptr);
+}
+
+LeaderElectionResult run_leader_election_traced(
+    const graph::Graph& g, const Params& params,
+    const radio::WakeSchedule& schedule, std::uint64_t seed,
+    const TraceOptions& trace, Slot max_slots, radio::MediumOptions medium) {
+  TraceSinks sinks(g, params, schedule, trace);
+  LeaderElectionResult result = leader_election_impl(
+      g, params, schedule, seed, max_slots, medium, &*sinks.tee);
+  sinks.finish_into(result, result.medium.slots_run, trace);
   return result;
 }
 

@@ -20,6 +20,7 @@
 #include "graph/coloring.hpp"
 #include "graph/graph.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "radio/engine.hpp"
 #include "radio/wakeup.hpp"
 
@@ -57,6 +58,8 @@ struct RunResult {
   std::optional<obs::TimeSeries> series;
   /// Events written to `TraceOptions::events_jsonl` (0 when not tracing).
   std::uint64_t events_recorded = 0;
+  /// Online invariant report; only populated with `TraceOptions::monitor`.
+  std::optional<obs::MonitorReport> monitor;
 
   /// Max T_v over decided nodes (0 if none).
   [[nodiscard]] Slot max_latency() const;
@@ -75,7 +78,19 @@ struct TraceOptions {
   /// When non-empty, stream every event to this JSONL file (the format
   /// `urn_trace` consumes).
   std::string events_jsonl;
+  /// Check the paper's invariants online (`make_monitor_config` builds
+  /// the configuration) and fill `RunResult::monitor`.
+  bool monitor = false;
 };
+
+/// Build the full `obs::MonitorConfig` for a run on `g`: κ₂ and the
+/// Theorem 3 per-node latency budget from `params`/`schedule`, θ_v per
+/// node, and the CSR adjacency for the conflict / leader-independence
+/// checks.  O(n·Δ²) for the θ computation — intended for monitored
+/// (opt-in) runs, not the hot path.
+[[nodiscard]] obs::MonitorConfig make_monitor_config(
+    const graph::Graph& g, const Params& params,
+    const radio::WakeSchedule& schedule);
 
 /// Execute the protocol.
 ///
@@ -136,14 +151,33 @@ struct LeaderElectionResult {
   std::vector<Slot> cover_latency;
   bool all_covered = false;
   radio::RunStats medium;
+
+  /// Per-window time series; only populated by the traced variant with
+  /// `TraceOptions::metrics` set.
+  std::optional<obs::TimeSeries> series;
+  /// Events written to `TraceOptions::events_jsonl` (0 when not tracing).
+  std::uint64_t events_recorded = 0;
+  /// Online invariant report; only populated with `TraceOptions::monitor`.
+  std::optional<obs::MonitorReport> monitor;
 };
 
 /// Run the protocol only until every node is a leader or knows one
 /// (i.e. left A₀), then stop.  The leader set is, with high probability,
-/// a maximal independent set of g.
+/// a maximal independent set of g.  Runs on the same sink-templated
+/// engine path as `run_coloring`, so failure injection (`medium`) and —
+/// via the traced variant — sinks apply to leader-election runs too.
 [[nodiscard]] LeaderElectionResult run_leader_election(
     const graph::Graph& g, const Params& params,
     const radio::WakeSchedule& schedule, std::uint64_t seed,
-    Slot max_slots = 0);
+    Slot max_slots = 0, radio::MediumOptions medium = {});
+
+/// `run_leader_election` with observability: identical execution (same
+/// seeds and RNG streams), plus the metrics / JSONL / monitor sinks
+/// requested by `trace`.
+[[nodiscard]] LeaderElectionResult run_leader_election_traced(
+    const graph::Graph& g, const Params& params,
+    const radio::WakeSchedule& schedule, std::uint64_t seed,
+    const TraceOptions& trace, Slot max_slots = 0,
+    radio::MediumOptions medium = {});
 
 }  // namespace urn::core

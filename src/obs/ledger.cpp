@@ -1,0 +1,55 @@
+#include "obs/ledger.hpp"
+
+namespace urn::obs {
+
+namespace {
+
+[[nodiscard]] LedgerSummary summarize_samples(const Samples& s) {
+  LedgerSummary out;
+  out.trials = s.count();
+  if (out.trials == 0) return out;
+  out.min = s.min();
+  out.mean = s.mean();
+  out.p50 = s.percentile(50.0);
+  out.p95 = s.percentile(95.0);
+  out.max = s.max();
+  return out;
+}
+
+}  // namespace
+
+void RunLedger::add(std::string_view metric, double value) {
+  auto it = samples_.find(metric);
+  if (it == samples_.end()) {
+    it = samples_.emplace(std::string(metric), Samples{}).first;
+  }
+  it->second.add(value);
+}
+
+void RunLedger::add_all(std::string_view metric,
+                        const std::vector<double>& values) {
+  for (double v : values) add(metric, v);
+}
+
+std::size_t RunLedger::trials(std::string_view metric) const {
+  const auto it = samples_.find(metric);
+  return it == samples_.end() ? 0 : it->second.count();
+}
+
+LedgerSummary RunLedger::summarize(std::string_view metric) const {
+  const auto it = samples_.find(metric);
+  return it == samples_.end() ? LedgerSummary{}
+                              : summarize_samples(it->second);
+}
+
+std::vector<std::pair<std::string, LedgerSummary>> RunLedger::summaries()
+    const {
+  std::vector<std::pair<std::string, LedgerSummary>> out;
+  out.reserve(samples_.size());
+  for (const auto& [name, samples] : samples_) {
+    out.emplace_back(name, summarize_samples(samples));
+  }
+  return out;
+}
+
+}  // namespace urn::obs

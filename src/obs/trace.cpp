@@ -4,7 +4,8 @@
 #include <fstream>
 #include <istream>
 #include <map>
-#include <sstream>
+
+#include "obs/fig2.hpp"
 
 namespace urn::obs {
 
@@ -81,33 +82,16 @@ std::vector<NodeTimeline> build_timelines(const std::vector<Event>& events) {
   return out;
 }
 
-namespace {
-
-[[nodiscard]] bool is_verify(const Event& e) {
-  return e.phase == static_cast<std::uint8_t>(PhaseCode::kVerify);
-}
-[[nodiscard]] bool is_request(const Event& e) {
-  return e.phase == static_cast<std::uint8_t>(PhaseCode::kRequest);
-}
-[[nodiscard]] bool is_decided(const Event& e) {
-  return e.phase == static_cast<std::uint8_t>(PhaseCode::kDecided);
-}
-
-[[nodiscard]] std::string describe(const Event& e) {
-  std::ostringstream os;
-  os << phase_name(e.phase);
-  if (!is_request(e)) os << "(" << e.color << ")";
-  return std::move(os).str();
-}
-
-}  // namespace
-
 Fig2Report validate_fig2(const std::vector<Event>& events,
                          std::uint32_t kappa2) {
   Fig2Report report;
   const std::vector<NodeTimeline> timelines = build_timelines(events);
   report.nodes_checked = timelines.size();
 
+  // The transition table itself lives in Fig2Walker (shared with the
+  // online InvariantMonitorSink); this replay only adds the two checks
+  // that need the whole stream: "woke but never entered A0" and the
+  // decision-event/final-transition agreement.
   for (const NodeTimeline& t : timelines) {
     auto violate = [&report, &t](Slot slot, std::string what) {
       report.violations.push_back({t.node, slot, std::move(what)});
@@ -120,63 +104,18 @@ Fig2Report validate_fig2(const std::vector<Event>& events,
       continue;
     }
 
-    const Event& first = t.phases.front();
-    if (!is_verify(first) || first.color != 0) {
-      violate(first.slot, "first transition is " + describe(first) +
-                              ", expected verify(0) [Z -> A0]");
-    }
-    if (t.wake_slot >= 0 && first.slot < t.wake_slot) {
-      violate(first.slot, "entered A0 before the wake event");
-    }
-
-    for (std::size_t i = 0; i + 1 < t.phases.size(); ++i) {
-      const Event& a = t.phases[i];
-      const Event& b = t.phases[i + 1];
-      ++report.transitions_checked;
-      if (b.slot < a.slot) {
-        violate(b.slot, "transition slots go backwards");
-      }
-      if (is_decided(a)) {
-        violate(b.slot, "left terminal state " + describe(a) + " for " +
-                            describe(b));
-        continue;
-      }
-      if (is_verify(a) && a.color == 0) {
-        // A0 -> C0 | R.
-        const bool to_leader = is_decided(b) && b.color == 0;
-        if (!to_leader && !is_request(b)) {
-          violate(b.slot, "illegal A0 exit to " + describe(b) +
-                              " (want decided(0) or request)");
-        }
-      } else if (is_request(a)) {
-        // R -> A_{tc(k2+1)}, tc >= 1.
-        if (!is_verify(b) || b.color <= 0) {
-          violate(b.slot, "illegal R exit to " + describe(b) +
-                              " (want verify(i), i > 0)");
-        } else if (kappa2 > 0 &&
-                   b.color % (static_cast<std::int32_t>(kappa2) + 1) != 0) {
-          violate(b.slot, "R exit color " + std::to_string(b.color) +
-                              " not a multiple of kappa2+1");
-        }
-      } else {
-        // A_i (i > 0) -> C_i | A_{i+1}.
-        if (is_decided(b)) {
-          if (b.color != a.color) {
-            violate(b.slot, "decided color " + std::to_string(b.color) +
-                                " from verify(" + std::to_string(a.color) +
-                                ")");
-          }
-        } else if (!is_verify(b) || b.color != a.color + 1) {
-          violate(b.slot, "illegal A_i exit to " + describe(b) +
-                              " from " + describe(a));
-        }
+    Fig2Walker walker(kappa2);
+    if (t.wake_slot >= 0) walker.wake(t.wake_slot);
+    for (const Event& p : t.phases) {
+      for (std::string& err : walker.advance(p)) {
+        violate(p.slot, std::move(err));
       }
     }
+    report.transitions_checked += walker.transitions_checked();
 
     // A recorded decision event must agree with the final C_i entry.
-    const Event& last = t.phases.back();
-    if (t.decision_slot >= 0 && is_decided(last) &&
-        t.final_color != last.color) {
+    if (t.decision_slot >= 0 && walker.decided() &&
+        t.final_color != walker.decided_color()) {
       violate(t.decision_slot, "decision event color disagrees with the "
                                "final decided transition");
     }

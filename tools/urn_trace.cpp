@@ -8,8 +8,9 @@
 ///   urn_trace --log run.jsonl --kappa2 12          # also check tc(κ₂+1)
 ///   urn_trace --log run.jsonl --timelines          # per-node histories
 ///   urn_trace --log run.jsonl --metrics-out m.csv --window 64
+///   urn_trace --log run.jsonl --latency-budget 40000   # Thm 3 replay
 ///
-/// Exit status: 0 when the log is a legal Fig. 2 execution, 1 when
+/// Exit status: 0 when the log passes every enabled check, 1 when
 /// violations were found, 2 on usage / I/O errors.
 
 #include <algorithm>
@@ -17,6 +18,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 #include "support/cli.hpp"
 
@@ -34,6 +36,9 @@ int main(int argc, char** argv) {
                    "re-derive the per-window metrics series from the log "
                    "and write it as CSV here");
   flags.add_int("window", 1, "window width in slots for --metrics-out");
+  flags.add_int("latency-budget", 0,
+                "per-node Theorem 3 slot budget; replays the online "
+                "invariant monitor over the log (0 = skip)");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
@@ -131,10 +136,26 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(series.peak_collisions()));
   }
 
-  // ---- Fig. 2 legality ----------------------------------------------------
+  // ---- online-monitor replay ---------------------------------------------
   const auto kappa2 =
       static_cast<std::uint32_t>(std::max<std::int64_t>(
           0, flags.get_int("kappa2")));
+  const auto latency_budget = static_cast<obs::Slot>(
+      std::max<std::int64_t>(0, flags.get_int("latency-budget")));
+  std::uint64_t monitor_violations = 0;
+  if (latency_budget > 0) {
+    obs::MonitorConfig config;
+    config.kappa2 = kappa2;
+    config.latency_budget = latency_budget;
+    obs::InvariantMonitorSink monitor(std::move(config));
+    for (const obs::Event& e : log.events) monitor.record(e);
+    monitor.flush();
+    const obs::MonitorReport mon = monitor.report();
+    obs::print_monitor_report(mon, stdout);
+    monitor_violations = mon.total_violations();
+  }
+
+  // ---- Fig. 2 legality ----------------------------------------------------
   const obs::Fig2Report report = obs::validate_fig2(log.events, kappa2);
   std::printf("fig2: %zu nodes, %zu transitions checked, %zu violations\n",
               report.nodes_checked, report.transitions_checked,
@@ -151,7 +172,7 @@ int main(int argc, char** argv) {
     std::printf("  ... and %zu more\n",
                 report.violations.size() - max_print);
   }
-  if (!report.ok()) return 1;
+  if (!report.ok() || monitor_violations != 0) return 1;
   std::printf("OK: every node's trajectory is a legal Fig. 2 walk\n");
   return 0;
 }
