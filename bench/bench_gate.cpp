@@ -16,8 +16,11 @@
 
 #include "analysis/experiment.hpp"
 #include "bench_util.hpp"
+#include "exec/parallel.hpp"
 #include "graph/generators.hpp"
 #include "support/rng.hpp"
+
+#include <optional>
 
 int main(int argc, char** argv) {
   using namespace urn;
@@ -32,34 +35,63 @@ int main(int argc, char** argv) {
               mp.kappa1, mp.kappa2);
 
   // ---- monitored coloring trials -----------------------------------------
+  // The per-trial seeds predate the executor; the loop fans out over
+  // exec::parallel_for_trials with the *same* seed derivation, so the
+  // committed bench/baseline/ numbers are reproduced bit-for-bit for any
+  // --jobs.  Monitor sinks are constructed per trial (worker-local);
+  // the first violation is reported with its originating trial index.
   const std::size_t trials = 5;
   bench::BenchSummary coloring("gate_coloring");
   coloring.set("n", static_cast<std::uint64_t>(n));
   coloring.set("delta", mp.delta);
   coloring.set("kappa2", mp.kappa2);
-  obs::RunLedger ledger;
+  coloring.set("jobs", static_cast<std::uint64_t>(trace.resolved_jobs()));
   core::TraceOptions monitored;
   monitored.monitor = true;
-  std::size_t valid = 0;
-  for (std::uint64_t t = 0; t < trials; ++t) {
-    Rng wrng(mix_seed(0xCA7EF, t));
-    const auto ws =
-        radio::WakeSchedule::uniform(n, 2 * mp.params.threshold(), wrng);
-    const auto run = core::run_coloring_traced(net.graph, mp.params, ws,
-                                               mix_seed(0xCA7EA, t),
-                                               monitored);
-    if (run.monitor.has_value() && !run.monitor->ok()) {
-      std::fprintf(stderr, "gate trial %llu: INVARIANT VIOLATIONS\n",
-                   static_cast<unsigned long long>(t));
-      obs::print_monitor_report(*run.monitor, stderr);
-      return 2;
-    }
-    if (run.check.valid()) ++valid;
-    bench::ledger_record(ledger, run);
+  struct GatePartial {
+    std::size_t valid = 0;
+    obs::RunLedger ledger;
+    struct Violation {
+      std::size_t trial;
+      obs::MonitorReport report;
+    };
+    std::optional<Violation> violation;
+  };
+  const GatePartial gate = exec::parallel_for_trials<GatePartial>(
+      trials, {trace.jobs, 0},
+      [&](GatePartial& acc, std::size_t t) {
+        Rng wrng(mix_seed(0xCA7EF, t));
+        const auto ws =
+            radio::WakeSchedule::uniform(n, 2 * mp.params.threshold(), wrng);
+        const auto run = core::run_coloring_traced(net.graph, mp.params, ws,
+                                                   mix_seed(0xCA7EA, t),
+                                                   monitored);
+        if (run.monitor.has_value() && !run.monitor->ok() &&
+            !acc.violation.has_value()) {
+          acc.violation = GatePartial::Violation{t, *run.monitor};
+        }
+        if (run.check.valid()) ++acc.valid;
+        bench::ledger_record(acc.ledger, run);
+      },
+      [](GatePartial& into, GatePartial&& chunk) {
+        into.valid += chunk.valid;
+        into.ledger.merge(chunk.ledger);
+        if (chunk.violation.has_value() &&
+            (!into.violation.has_value() ||
+             chunk.violation->trial < into.violation->trial)) {
+          into.violation = std::move(chunk.violation);
+        }
+      });
+  if (gate.violation.has_value()) {
+    std::fprintf(stderr, "gate trial %zu: INVARIANT VIOLATIONS\n",
+                 gate.violation->trial);
+    obs::print_monitor_report(gate.violation->report, stderr);
+    return 2;
   }
+  const std::size_t valid = gate.valid;
   coloring.set("trials", static_cast<std::uint64_t>(trials));
   coloring.set("valid", static_cast<std::uint64_t>(valid));
-  bench::ledger_emit(coloring, ledger);
+  bench::ledger_emit(coloring, gate.ledger);
   coloring.emit();
   std::printf("coloring: %zu/%zu valid, 0 invariant violations\n", valid,
               trials);
@@ -67,28 +99,38 @@ int main(int argc, char** argv) {
   // ---- leader-election trials --------------------------------------------
   bench::BenchSummary leader("gate_leader");
   leader.set("n", static_cast<std::uint64_t>(n));
-  obs::RunLedger lledger;
-  std::size_t covered = 0;
-  for (std::uint64_t t = 0; t < trials; ++t) {
-    Rng wrng(mix_seed(0xCA7EB, t));
-    const auto ws =
-        radio::WakeSchedule::uniform(n, 2 * mp.params.threshold(), wrng);
-    const auto run = core::run_leader_election(net.graph, mp.params, ws,
-                                               mix_seed(0xCA7EC, t));
-    if (run.all_covered) ++covered;
-    lledger.add("leaders", static_cast<double>(run.leaders.size()));
-    double max_cover = 0.0;
-    for (radio::Slot s : run.cover_latency) {
-      max_cover = std::max(max_cover, static_cast<double>(s));
-    }
-    lledger.add("cover_latency.max", max_cover);
-    lledger.add("slots.run", static_cast<double>(run.medium.slots_run));
-    lledger.add("collisions.total",
-                static_cast<double>(run.medium.collisions));
-  }
+  leader.set("jobs", static_cast<std::uint64_t>(trace.resolved_jobs()));
+  struct LeaderPartial {
+    std::size_t covered = 0;
+    obs::RunLedger ledger;
+  };
+  const LeaderPartial lgate = exec::parallel_for_trials<LeaderPartial>(
+      trials, {trace.jobs, 0},
+      [&](LeaderPartial& acc, std::size_t t) {
+        Rng wrng(mix_seed(0xCA7EB, t));
+        const auto ws =
+            radio::WakeSchedule::uniform(n, 2 * mp.params.threshold(), wrng);
+        const auto run = core::run_leader_election(net.graph, mp.params, ws,
+                                                   mix_seed(0xCA7EC, t));
+        if (run.all_covered) ++acc.covered;
+        acc.ledger.add("leaders", static_cast<double>(run.leaders.size()));
+        double max_cover = 0.0;
+        for (radio::Slot s : run.cover_latency) {
+          max_cover = std::max(max_cover, static_cast<double>(s));
+        }
+        acc.ledger.add("cover_latency.max", max_cover);
+        acc.ledger.add("slots.run", static_cast<double>(run.medium.slots_run));
+        acc.ledger.add("collisions.total",
+                       static_cast<double>(run.medium.collisions));
+      },
+      [](LeaderPartial& into, LeaderPartial&& chunk) {
+        into.covered += chunk.covered;
+        into.ledger.merge(chunk.ledger);
+      });
+  const std::size_t covered = lgate.covered;
   leader.set("trials", static_cast<std::uint64_t>(trials));
   leader.set("covered", static_cast<std::uint64_t>(covered));
-  bench::ledger_emit(leader, lledger);
+  bench::ledger_emit(leader, lgate.ledger);
   leader.emit();
   std::printf("leader election: %zu/%zu fully covered\n", covered, trials);
 

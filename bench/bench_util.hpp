@@ -12,10 +12,14 @@
 ///    paths ("scenario.n", "medium.collisions"), values JSON scalars.
 ///
 ///  * `TraceArgs` — the standard `--trace` / `--metrics-out` /
-///    `--metrics-window` / `--monitor` flag set that lets any experiment
-///    record one representative run as a JSONL event log (for
-///    `urn_trace`), a per-window metrics CSV, and/or check the paper's
-///    invariants online (failing the binary with exit 2 on violation).
+///    `--metrics-window` / `--monitor` / `--jobs` flag set that lets any
+///    experiment record one representative run as a JSONL event log (for
+///    `urn_trace`), a per-window metrics CSV, check the paper's
+///    invariants online (failing the binary with exit 2 on violation),
+///    and fan its trial loops out across worker threads (`--jobs`,
+///    bit-identical results for every value; the resolved count is
+///    recorded as the `jobs` key of `BENCH_<name>.json`, which the
+///    regression diff skips alongside the `.ns` wall-clock keys).
 ///
 ///  * `ledger_record` / `ledger_emit` — feed each trial's `RunResult`
 ///    into an `obs::RunLedger` and export the percentile summaries
@@ -35,6 +39,7 @@
 #include "analysis/table.hpp"
 #include "core/params.hpp"
 #include "core/runner.hpp"
+#include "exec/chunk.hpp"
 #include "graph/generators.hpp"
 #include "graph/independence.hpp"
 #include "obs/ledger.hpp"
@@ -164,12 +169,25 @@ class BenchSummary {
   std::vector<std::pair<std::string, std::string>> entries_;
 };
 
-/// The standard observability flag set for experiment binaries.
+/// The standard observability + execution flag set for experiment
+/// binaries.
 struct TraceArgs {
   std::string trace_path;    ///< --trace: JSONL event log destination
   std::string metrics_path;  ///< --metrics-out: per-window CSV destination
   std::int64_t window = 16;  ///< --metrics-window
   bool monitor = false;      ///< --monitor: online invariant checks
+  std::size_t jobs = 1;      ///< --jobs: trial-loop workers (0 = all cores)
+
+  /// Resolved worker count (0 expanded to the hardware thread count).
+  [[nodiscard]] std::size_t resolved_jobs() const {
+    return exec::resolve_jobs(jobs);
+  }
+  /// Executor options for analysis::run_core_trials and friends.
+  [[nodiscard]] analysis::TrialExecOptions exec() const {
+    analysis::TrialExecOptions opts;
+    opts.jobs = jobs;
+    return opts;
+  }
 
   [[nodiscard]] bool enabled() const {
     return monitor || !trace_path.empty() || !metrics_path.empty();
@@ -197,6 +215,9 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
   flags.add_bool("monitor", false,
                  "check the paper's invariants online on the traced run; "
                  "any violation fails the binary with exit 2");
+  flags.add_int("jobs", 1,
+                "worker threads for the trial loops (0 = all hardware "
+                "threads); results are bit-identical for every value");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
                  flags.usage(program).c_str());
@@ -211,6 +232,8 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
   args.metrics_path = flags.get_string("metrics-out");
   args.window = std::max<std::int64_t>(1, flags.get_int("metrics-window"));
   args.monitor = flags.get_bool("monitor");
+  args.jobs =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, flags.get_int("jobs")));
   // Fail on unwritable destinations now, not after the (often long)
   // aggregate loops have already run.
   for (const std::string& path : {args.trace_path, args.metrics_path}) {

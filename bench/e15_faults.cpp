@@ -16,6 +16,7 @@
 #include "bench_util.hpp"
 #include "core/protocol.hpp"
 #include "core/runner.hpp"
+#include "exec/parallel.hpp"
 #include "graph/coloring.hpp"
 #include "graph/generators.hpp"
 #include "radio/engine.hpp"
@@ -44,24 +45,44 @@ int main(int argc, char** argv) {
   summary.set("n", static_cast<std::uint64_t>(n));
   summary.set("delta", mp.delta);
   summary.set("kappa2", mp.kappa2);
+  summary.set("jobs", static_cast<std::uint64_t>(trace.resolved_jobs()));
   double baseline_mean = 0.0;
   for (double p : {0.0, 0.1, 0.25, 0.5, 0.75}) {
     radio::MediumOptions medium;
     medium.drop_probability = p;
-    Samples mean_t;
-    std::size_t valid = 0, complete = 0;
     const std::size_t trials = 10;
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      Rng wrng(mix_seed(0xE15F, t));
-      const auto ws =
-          radio::WakeSchedule::uniform(n, 2 * mp.params.threshold(), wrng);
-      const auto run = core::run_coloring(net.graph, mp.params, ws,
-                                          mix_seed(0xE15A, t), 0, medium);
-      if (run.check.valid()) ++valid;
-      if (run.all_decided) ++complete;
-      mean_t.add(run.mean_latency());
-      bench::ledger_record(ledger, run);
-    }
+    // Trial t is a pure function of its seeds, so the loop fans out on
+    // the deterministic executor: per-chunk partials merge in trial
+    // order, keeping every statistic (incl. ledger percentiles)
+    // bit-identical to the serial loop for any --jobs.
+    struct Partial {
+      Samples mean_t;
+      std::size_t valid = 0, complete = 0;
+      obs::RunLedger ledger;
+    };
+    const Partial part = exec::parallel_for_trials<Partial>(
+        trials, {trace.jobs, 0},
+        [&](Partial& acc, std::size_t t) {
+          Rng wrng(mix_seed(0xE15F, t));
+          const auto ws = radio::WakeSchedule::uniform(
+              n, 2 * mp.params.threshold(), wrng);
+          const auto run = core::run_coloring(net.graph, mp.params, ws,
+                                              mix_seed(0xE15A, t), 0,
+                                              medium);
+          if (run.check.valid()) ++acc.valid;
+          if (run.all_decided) ++acc.complete;
+          acc.mean_t.add(run.mean_latency());
+          bench::ledger_record(acc.ledger, run);
+        },
+        [](Partial& into, Partial&& chunk) {
+          into.mean_t.merge(chunk.mean_t);
+          into.valid += chunk.valid;
+          into.complete += chunk.complete;
+          into.ledger.merge(chunk.ledger);
+        });
+    const Samples& mean_t = part.mean_t;
+    const std::size_t valid = part.valid, complete = part.complete;
+    ledger.merge(part.ledger);
     if (p == 0.0) baseline_mean = mean_t.mean();
     t1.add_row({analysis::Table::num(p, 2),
                 analysis::Table::num(static_cast<double>(valid) / trials, 2),
@@ -100,10 +121,16 @@ int main(int argc, char** argv) {
   t2.set_header({"crash frac", "survivors decided", "orphans", "valid among "
                  "decided"});
   for (double frac : {0.0, 0.25, 0.5}) {
-    Samples decided_frac, orphans;
-    std::size_t valid_runs = 0;
     const std::size_t trials = 8;
-    for (std::uint64_t t = 0; t < trials; ++t) {
+    // Each trial owns its engine, nodes and RNGs outright — same
+    // deterministic fan-out as E15a.
+    struct CrashPartial {
+      Samples decided_frac, orphans;
+      std::size_t valid_runs = 0;
+    };
+    const CrashPartial part = exec::parallel_for_trials<CrashPartial>(
+        trials, {trace.jobs, 0},
+        [&](CrashPartial& acc, std::size_t t) {
       std::vector<core::ColoringNode> nodes;
       for (graph::NodeId v = 0; v < n; ++v) {
         nodes.emplace_back(&mp.params, v);
@@ -139,17 +166,22 @@ int main(int argc, char** argv) {
           ++orphan;
         }
       }
-      decided_frac.add(static_cast<double>(decided) /
-                       static_cast<double>(live));
-      orphans.add(static_cast<double>(orphan));
+      acc.decided_frac.add(static_cast<double>(decided) /
+                           static_cast<double>(live));
+      acc.orphans.add(static_cast<double>(orphan));
       // Whatever did decide must still be conflict-free.
-      if (graph::validate(net.graph, colors).correct) ++valid_runs;
-    }
+      if (graph::validate(net.graph, colors).correct) ++acc.valid_runs;
+        },
+        [](CrashPartial& into, CrashPartial&& chunk) {
+          into.decided_frac.merge(chunk.decided_frac);
+          into.orphans.merge(chunk.orphans);
+          into.valid_runs += chunk.valid_runs;
+        });
     t2.add_row({analysis::Table::num(frac, 2),
-                analysis::Table::num(decided_frac.mean(), 3),
-                analysis::Table::num(orphans.mean(), 1),
+                analysis::Table::num(part.decided_frac.mean(), 3),
+                analysis::Table::num(part.orphans.mean(), 1),
                 analysis::Table::num(
-                    static_cast<double>(valid_runs) / trials, 2)});
+                    static_cast<double>(part.valid_runs) / trials, 2)});
   }
   t2.emit();
   bench::ledger_emit(summary, ledger);

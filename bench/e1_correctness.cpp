@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     const auto agg = analysis::run_core_trials(
         net.graph, mp.params,
         analysis::uniform_schedule(n, 2 * mp.params.threshold()), trials,
-        mix_seed(0xE1F0, n));
+        mix_seed(0xE1F0, n), trace.exec());
     table.add_row({analysis::Table::num(static_cast<std::uint64_t>(n)),
                    analysis::Table::num(static_cast<std::uint64_t>(mp.delta)),
                    analysis::Table::num(static_cast<std::uint64_t>(mp.kappa1)),
@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
   }
   table.emit();
   summary.set("trials", static_cast<std::uint64_t>(trials));
+  summary.set("jobs", static_cast<std::uint64_t>(trace.resolved_jobs()));
   bench::ledger_emit(summary, ledger);
   summary.add_profile();
   summary.emit();

@@ -34,7 +34,11 @@ int main(int argc, char** argv) {
     const char* name;
     analysis::ScheduleFactory factory;
   };
-  const auto& positions = net.positions;
+  // Every factory obeys the ScheduleFactory thread-safety contract
+  // (experiment.hpp): randomness derives from the trial seed alone, and
+  // captures are by value — `positions` included, so no factory reads
+  // state it does not own when --jobs fans trials out across workers.
+  const std::vector<geom::Vec2> positions = net.positions;
   const Pattern patterns[] = {
       {"synchronous", analysis::synchronous_schedule(n)},
       {"uniform(2T)", analysis::uniform_schedule(n, 2 * T)},
@@ -47,7 +51,7 @@ int main(int argc, char** argv) {
          Rng r(mix_seed(s, 2));
          return radio::WakeSchedule::sequential(n, P + 64, r);
        }},
-      {"wavefront", [&positions, P](std::uint64_t s) {
+      {"wavefront", [positions, P](std::uint64_t s) {
          Rng r(mix_seed(s, 3));
          return radio::WakeSchedule::wavefront(positions,
                                                static_cast<double>(P) / 2.0,
@@ -69,9 +73,11 @@ int main(int argc, char** argv) {
   summary.set("n", static_cast<std::uint64_t>(n));
   summary.set("delta", mp.delta);
   summary.set("kappa2", mp.kappa2);
+  summary.set("jobs", static_cast<std::uint64_t>(trace.resolved_jobs()));
   for (const Pattern& p : patterns) {
     const auto agg = analysis::run_core_trials(net.graph, mp.params,
-                                               p.factory, trials, 0xE6F0);
+                                               p.factory, trials, 0xE6F0,
+                                               trace.exec());
     bench::ledger_from_aggregate(ledger, agg);
     table.add_row({p.name, analysis::Table::num(agg.valid_fraction(), 2),
                    analysis::Table::num(agg.mean_latency.mean(), 0),

@@ -9,11 +9,14 @@
 ///   urn_sim --analytical --n 48 --side 4.5      # the paper's constants
 
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/experiment.hpp"
 #include "core/runner.hpp"
 #include "core/tdma.hpp"
+#include "exec/parallel.hpp"
 #include "geom/spatial_grid.hpp"
 #include "graph/generators.hpp"
 #include "graph/independence.hpp"
@@ -90,6 +93,9 @@ int main(int argc, char** argv) {
   flags.add_string("wake", "uniform",
                    "sync | uniform | sequential | poisson | wavefront");
   flags.add_int("trials", 1, "independent trials to run");
+  flags.add_int("jobs", 1,
+                "worker threads for the trial loop (0 = all hardware "
+                "threads); results are bit-identical for every value");
   flags.add_int("seed", 1, "master seed");
   flags.add_bool("analytical", false,
                  "use the paper's analytical constants (slow!)");
@@ -157,72 +163,131 @@ int main(int argc, char** argv) {
   }
 
   const auto trials = static_cast<std::size_t>(flags.get_int("trials"));
-  std::size_t valid = 0;
-  std::uint64_t monitored_events = 0;
-  Samples mean_lat, max_lat, colors;
-  core::RunResult last;
-  for (std::size_t t = 0; t < trials; ++t) {
-    Rng wrng(mix_seed(seed, 1000 + t));
-    const auto schedule = build_wake(flags, net, params, wrng);
-    // Trial 0 carries the trace/metrics sinks; --monitor applies to every
-    // trial.  Sinks never touch the RNG streams, so traced and monitored
-    // runs are bit-identical to what run_coloring would have produced.
-    core::TraceOptions topts = (tracing && t == 0) ? trace : core::TraceOptions{};
-    topts.monitor = monitor;
-    const bool use_traced = monitor || (tracing && t == 0);
-    const auto run =
-        use_traced
-            ? core::run_coloring_traced(net.graph, params, schedule,
-                                        mix_seed(seed, t), topts)
-            : core::run_coloring(net.graph, params, schedule,
-                                 mix_seed(seed, t));
-    if (run.monitor.has_value()) {
-      monitored_events += run.monitor->events_seen;
-      if (!run.monitor->ok()) {
-        std::fprintf(stderr, "trial %zu: INVARIANT VIOLATIONS\n", t);
-        obs::print_monitor_report(*run.monitor, stderr);
-        return 2;
-      }
-    }
-    if (tracing && t == 0) {
-      if (!trace.events_jsonl.empty()) {
-        std::printf("(trace: %llu events -> %s)\n",
-                    static_cast<unsigned long long>(run.events_recorded),
-                    trace.events_jsonl.c_str());
-      }
-      if (run.series.has_value()) {
-        const std::string out = flags.get_string("metrics-out");
-        if (run.series->write_csv_file(out)) {
-          std::printf("(metrics: %zu windows -> %s)\n", run.series->size(),
-                      out.c_str());
-        } else {
-          std::fprintf(stderr, "cannot write %s\n", out.c_str());
+  const auto jobs = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, flags.get_int("jobs")));
+  const bool verbose = flags.get_bool("verbose");
+
+  // The trial loop fans out over the deterministic executor: each trial
+  // is a pure function of mix_seed(seed, t), workers own their sinks and
+  // RNG streams outright, and per-chunk partials merge in trial order —
+  // so every statistic is bit-identical for any --jobs.  Output is
+  // collected into the partials and printed in trial order afterwards.
+  struct SimPartial {
+    std::size_t valid = 0;
+    std::uint64_t monitored_events = 0;
+    Samples mean_lat, max_lat, colors;
+    std::vector<std::string> verbose_lines;
+    std::optional<core::RunResult> trial0;  // carries trace artifacts
+    std::optional<core::RunResult> last;    // feeds the --tdma audit
+    struct Violation {
+      std::size_t trial;
+      obs::MonitorReport report;
+    };
+    std::optional<Violation> violation;
+  };
+  const SimPartial sim = exec::parallel_for_trials<SimPartial>(
+      trials, {jobs, 0},
+      [&](SimPartial& acc, std::size_t t) {
+        Rng wrng(mix_seed(seed, 1000 + t));
+        const auto schedule = build_wake(flags, net, params, wrng);
+        // Trial 0 carries the trace/metrics sinks; --monitor applies to
+        // every trial.  Sinks never touch the RNG streams, so traced and
+        // monitored runs are bit-identical to what run_coloring would
+        // have produced.
+        core::TraceOptions topts =
+            (tracing && t == 0) ? trace : core::TraceOptions{};
+        topts.monitor = monitor;
+        const bool use_traced = monitor || (tracing && t == 0);
+        const auto run =
+            use_traced
+                ? core::run_coloring_traced(net.graph, params, schedule,
+                                            mix_seed(seed, t), topts)
+                : core::run_coloring(net.graph, params, schedule,
+                                     mix_seed(seed, t));
+        if (run.monitor.has_value()) {
+          acc.monitored_events += run.monitor->events_seen;
+          if (!run.monitor->ok() && !acc.violation.has_value()) {
+            acc.violation = SimPartial::Violation{t, *run.monitor};
+          }
         }
+        if (run.check.valid()) ++acc.valid;
+        acc.mean_lat.add(run.mean_latency());
+        acc.max_lat.add(static_cast<double>(run.max_latency()));
+        acc.colors.add(static_cast<double>(run.max_color));
+        if (verbose) {
+          char line[160];
+          std::snprintf(line, sizeof(line),
+                        "  trial %zu: valid=%d slots=%lld leaders=%zu "
+                        "max_color=%d meanT=%.0f",
+                        t, run.check.valid() ? 1 : 0,
+                        static_cast<long long>(run.medium.slots_run),
+                        run.num_leaders, run.max_color, run.mean_latency());
+          acc.verbose_lines.emplace_back(line);
+        }
+        if (t == 0) acc.trial0 = run;
+        acc.last = run;
+      },
+      [](SimPartial& into, SimPartial&& chunk) {
+        into.valid += chunk.valid;
+        into.monitored_events += chunk.monitored_events;
+        into.mean_lat.merge(chunk.mean_lat);
+        into.max_lat.merge(chunk.max_lat);
+        into.colors.merge(chunk.colors);
+        for (std::string& line : chunk.verbose_lines) {
+          into.verbose_lines.push_back(std::move(line));
+        }
+        if (chunk.trial0.has_value()) into.trial0 = std::move(chunk.trial0);
+        if (chunk.last.has_value()) into.last = std::move(chunk.last);
+        if (chunk.violation.has_value() &&
+            (!into.violation.has_value() ||
+             chunk.violation->trial < into.violation->trial)) {
+          into.violation = std::move(chunk.violation);
+        }
+      });
+
+  if (sim.violation.has_value()) {
+    std::fprintf(stderr, "trial %zu: INVARIANT VIOLATIONS\n",
+                 sim.violation->trial);
+    obs::print_monitor_report(sim.violation->report, stderr);
+    return 2;
+  }
+  if (tracing && sim.trial0.has_value()) {
+    const core::RunResult& run = *sim.trial0;
+    if (!trace.events_jsonl.empty()) {
+      std::printf("(trace: %llu events -> %s)\n",
+                  static_cast<unsigned long long>(run.events_recorded),
+                  trace.events_jsonl.c_str());
+    }
+    if (run.series.has_value()) {
+      const std::string out = flags.get_string("metrics-out");
+      if (run.series->write_csv_file(out)) {
+        std::printf("(metrics: %zu windows -> %s)\n", run.series->size(),
+                    out.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
       }
     }
-    if (run.check.valid()) ++valid;
-    mean_lat.add(run.mean_latency());
-    max_lat.add(static_cast<double>(run.max_latency()));
-    colors.add(static_cast<double>(run.max_color));
-    if (flags.get_bool("verbose")) {
-      std::printf("  trial %zu: valid=%d slots=%lld leaders=%zu "
-                  "max_color=%d meanT=%.0f\n",
-                  t, run.check.valid() ? 1 : 0,
-                  static_cast<long long>(run.medium.slots_run),
-                  run.num_leaders, run.max_color, run.mean_latency());
-    }
-    last = run;
   }
+  for (const std::string& line : sim.verbose_lines) {
+    std::printf("%s\n", line.c_str());
+  }
+  const std::size_t valid = sim.valid;
+  const Samples& mean_lat = sim.mean_lat;
+  const Samples& max_lat = sim.max_lat;
+  const Samples& colors = sim.colors;
   std::printf("result: valid %zu/%zu | mean T %.0f | max T %.0f | "
               "max color %.0f (bound (k2+1)*Delta=%u)\n",
               valid, trials, mean_lat.mean(), max_lat.max(), colors.max(),
               (k2 + 1) * delta);
   if (monitor) {
     std::printf("monitor: %llu events across %zu trials, 0 violations\n",
-                static_cast<unsigned long long>(monitored_events), trials);
+                static_cast<unsigned long long>(sim.monitored_events),
+                trials);
   }
 
-  if (flags.get_bool("tdma") && last.check.valid()) {
+  if (flags.get_bool("tdma") && sim.last.has_value() &&
+      sim.last->check.valid()) {
+    const core::RunResult& last = *sim.last;
     const auto tdma = core::derive_tdma(net.graph, last.colors);
     const auto rep = core::analyze_tdma(net.graph, tdma);
     std::printf("tdma: frame=%u direct-free=%s max-nbr-tx=%u "

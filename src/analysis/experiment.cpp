@@ -1,5 +1,8 @@
 #include "analysis/experiment.hpp"
 
+#include <utility>
+
+#include "exec/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace urn::analysis {
@@ -15,7 +18,29 @@ ScheduleFactory uniform_schedule(std::size_t n, radio::Slot window) {
   };
 }
 
-void record_run(CoreAggregate& agg, const core::RunResult& run) {
+namespace {
+
+/// The earliest violation inside one trial's monitor report: lowest
+/// slot; ties broken by invariant declaration order (deterministic).
+[[nodiscard]] std::optional<CoreAggregate::FirstViolation>
+earliest_violation(const obs::MonitorReport& report, std::size_t trial) {
+  std::optional<CoreAggregate::FirstViolation> best;
+  for (std::size_t i = 0; i < obs::kNumInvariants; ++i) {
+    const auto& inv = report.invariants[i];
+    if (inv.count == 0) continue;
+    if (!best || inv.first_slot < best->slot) {
+      best = CoreAggregate::FirstViolation{
+          trial, static_cast<obs::Invariant>(i), inv.first_slot,
+          inv.first_node, inv.first_what};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void record_run(CoreAggregate& agg, const core::RunResult& run,
+                std::size_t trial) {
   ++agg.trials;
   if (run.check.valid()) ++agg.valid;
   if (run.all_decided) ++agg.completed;
@@ -34,6 +59,67 @@ void record_run(CoreAggregate& agg, const core::RunResult& run) {
   agg.resets_per_node.add(n > 0 ? static_cast<double>(run.total_resets) / n
                                 : 0.0);
   agg.slots_run.add(static_cast<double>(run.medium.slots_run));
+
+  if (run.monitor.has_value()) {
+    agg.monitor_events += run.monitor->events_seen;
+    agg.monitor_violations += run.monitor->total_violations();
+    auto fv = earliest_violation(*run.monitor, trial);
+    if (fv.has_value() && (!agg.first_violation.has_value() ||
+                           fv->trial < agg.first_violation->trial)) {
+      agg.first_violation = std::move(fv);
+    }
+  }
+}
+
+void record_run(CoreAggregate& agg, const core::RunResult& run) {
+  record_run(agg, run, agg.trials);
+}
+
+void CoreAggregate::merge(const CoreAggregate& other) {
+  trials += other.trials;
+  valid += other.valid;
+  completed += other.completed;
+  max_latency.merge(other.max_latency);
+  mean_latency.merge(other.mean_latency);
+  p95_latency.merge(other.p95_latency);
+  max_color.merge(other.max_color);
+  distinct_colors.merge(other.distinct_colors);
+  leaders.merge(other.leaders);
+  resets_per_node.merge(other.resets_per_node);
+  slots_run.merge(other.slots_run);
+  monitor_events += other.monitor_events;
+  monitor_violations += other.monitor_violations;
+  if (other.first_violation.has_value() &&
+      (!first_violation.has_value() ||
+       other.first_violation->trial < first_violation->trial)) {
+    first_violation = other.first_violation;
+  }
+}
+
+CoreAggregate run_core_trials(const graph::Graph& g,
+                              const core::Params& params,
+                              const ScheduleFactory& schedules,
+                              std::size_t trials, std::uint64_t seed0,
+                              const TrialExecOptions& exec) {
+  core::TraceOptions monitored;
+  monitored.monitor = true;
+  return exec::parallel_for_trials<CoreAggregate>(
+      trials, exec::ExecOptions{exec.jobs, exec.chunk},
+      [&](CoreAggregate& agg, std::size_t t) {
+        const std::uint64_t trial_seed = mix_seed(seed0, t);
+        const radio::WakeSchedule schedule = schedules(trial_seed);
+        // Monitored trials run on the sink-templated engine path; the
+        // monitor sink is constructed per trial, so all monitor state is
+        // worker-local.  Either way the RunResult is bit-identical.
+        const core::RunResult run =
+            exec.monitor
+                ? core::run_coloring_traced(g, params, schedule, trial_seed,
+                                            monitored, exec.max_slots)
+                : core::run_coloring(g, params, schedule, trial_seed,
+                                     exec.max_slots);
+        record_run(agg, run, t);
+      },
+      [](CoreAggregate& into, CoreAggregate&& part) { into.merge(part); });
 }
 
 CoreAggregate run_core_trials(const graph::Graph& g,
@@ -41,15 +127,54 @@ CoreAggregate run_core_trials(const graph::Graph& g,
                               const ScheduleFactory& schedules,
                               std::size_t trials, std::uint64_t seed0,
                               radio::Slot max_slots) {
-  CoreAggregate agg;
-  for (std::size_t t = 0; t < trials; ++t) {
-    const std::uint64_t trial_seed = mix_seed(seed0, t);
-    const radio::WakeSchedule schedule = schedules(trial_seed);
-    const core::RunResult run =
-        core::run_coloring(g, params, schedule, trial_seed, max_slots);
-    record_run(agg, run);
+  TrialExecOptions exec;
+  exec.max_slots = max_slots;
+  return run_core_trials(g, params, schedules, trials, seed0, exec);
+}
+
+void record_leader_run(LeaderAggregate& agg,
+                       const core::LeaderElectionResult& run) {
+  ++agg.trials;
+  if (run.all_covered) ++agg.covered;
+  agg.leaders.add(static_cast<double>(run.leaders.size()));
+  Samples cover;
+  for (radio::Slot s : run.cover_latency) {
+    if (s >= 0) cover.add(static_cast<double>(s));
   }
-  return agg;
+  agg.mean_cover_latency.add(cover.count() ? cover.mean() : 0.0);
+  agg.max_cover_latency.add(cover.count() ? cover.max() : 0.0);
+  agg.slots_run.add(static_cast<double>(run.medium.slots_run));
+  agg.collisions.add(static_cast<double>(run.medium.collisions));
+}
+
+void LeaderAggregate::merge(const LeaderAggregate& other) {
+  trials += other.trials;
+  covered += other.covered;
+  leaders.merge(other.leaders);
+  mean_cover_latency.merge(other.mean_cover_latency);
+  max_cover_latency.merge(other.max_cover_latency);
+  slots_run.merge(other.slots_run);
+  collisions.merge(other.collisions);
+}
+
+LeaderAggregate run_leader_trials(const graph::Graph& g,
+                                  const core::Params& params,
+                                  const ScheduleFactory& schedules,
+                                  std::size_t trials, std::uint64_t seed0,
+                                  const TrialExecOptions& exec) {
+  return exec::parallel_for_trials<LeaderAggregate>(
+      trials, exec::ExecOptions{exec.jobs, exec.chunk},
+      [&](LeaderAggregate& agg, std::size_t t) {
+        const std::uint64_t trial_seed = mix_seed(seed0, t);
+        const radio::WakeSchedule schedule = schedules(trial_seed);
+        record_leader_run(agg,
+                          core::run_leader_election(g, params, schedule,
+                                                    trial_seed,
+                                                    exec.max_slots));
+      },
+      [](LeaderAggregate& into, LeaderAggregate&& part) {
+        into.merge(part);
+      });
 }
 
 }  // namespace urn::analysis

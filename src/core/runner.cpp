@@ -88,12 +88,14 @@ RunResult run_impl(const graph::Graph& g, const Params& params,
   result.check = graph::validate(g, result.colors);
   result.max_color = graph::max_color(result.colors);
 
+  // Thread-safe `add`: run_impl executes concurrently under the trial
+  // executor (exec::parallel_for_trials).
   auto& counters = obs::CounterRegistry::global();
-  counters.counter("core.run_coloring.runs") += 1;
-  counters.counter("core.run_coloring.slots") +=
-      static_cast<std::uint64_t>(stats.slots_run);
-  counters.counter("core.run_coloring.node_slots") +=
-      static_cast<std::uint64_t>(stats.slots_run) * g.num_nodes();
+  counters.add("core.run_coloring.runs", 1);
+  counters.add("core.run_coloring.slots",
+               static_cast<std::uint64_t>(stats.slots_run));
+  counters.add("core.run_coloring.node_slots",
+               static_cast<std::uint64_t>(stats.slots_run) * g.num_nodes());
   return result;
 }
 
@@ -159,9 +161,9 @@ LeaderElectionResult leader_election_impl(const graph::Graph& g,
   }
 
   auto& counters = obs::CounterRegistry::global();
-  counters.counter("core.run_leader_election.runs") += 1;
-  counters.counter("core.run_leader_election.slots") +=
-      static_cast<std::uint64_t>(result.medium.slots_run);
+  counters.add("core.run_leader_election.runs", 1);
+  counters.add("core.run_leader_election.slots",
+               static_cast<std::uint64_t>(result.medium.slots_run));
   return result;
 }
 

@@ -1,0 +1,84 @@
+#include "exec/pool.hpp"
+
+#include "exec/chunk.hpp"
+
+namespace urn::exec {
+
+TrialPool::TrialPool(std::size_t jobs) : jobs_(resolve_jobs(jobs)) {
+  workers_.reserve(jobs_ - 1);
+  for (std::size_t i = 0; i + 1 < jobs_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TrialPool::~TrialPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void TrialPool::drain(const std::function<void(std::size_t)>& fn) {
+  for (;;) {
+    const std::size_t i = next_chunk_.fetch_add(1);
+    if (i >= num_chunks_) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void TrialPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    drain(*fn_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void TrialPool::run(std::size_t num_chunks,
+                    const std::function<void(std::size_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (workers_.empty()) {
+    // jobs == 1: pure serial path, no atomics, no signalling.
+    for (std::size_t i = 0; i < num_chunks; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    num_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    active_ = workers_.size();
+    error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain(fn);  // the calling thread is the last worker
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace urn::exec

@@ -1,0 +1,72 @@
+/// \file pool.hpp
+/// \brief A small persistent thread pool that fans chunk indices out
+///        across `std::thread` workers.
+///
+/// `TrialPool` owns `jobs - 1` worker threads (the calling thread
+/// participates as the last worker, so `jobs == 1` never spawns a thread
+/// and runs the task inline — the serial path stays the serial path).
+/// `run(num_chunks, fn)` invokes `fn(chunk_index)` exactly once for every
+/// index in [0, num_chunks); chunks are claimed dynamically off an atomic
+/// counter, so which *thread* runs a chunk is nondeterministic — callers
+/// must keep per-chunk state (see `parallel_for_trials`) if they need
+/// deterministic results.
+///
+/// Exceptions thrown by `fn` are captured (first one wins) and rethrown
+/// on the calling thread after every in-flight chunk has finished.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace urn::exec {
+
+class TrialPool {
+ public:
+  /// \param jobs total workers including the caller; 0 = all hardware
+  ///             threads (see `resolve_jobs`).
+  explicit TrialPool(std::size_t jobs = 0);
+  ~TrialPool();
+
+  TrialPool(const TrialPool&) = delete;
+  TrialPool& operator=(const TrialPool&) = delete;
+
+  /// Total workers, calling thread included.
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
+
+  /// Invoke `fn(chunk_index)` once per index in [0, num_chunks); blocks
+  /// until all chunks completed, then rethrows the first captured
+  /// exception, if any.  Not reentrant.
+  void run(std::size_t num_chunks,
+           const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  /// Claim-and-run loop shared by workers and the calling thread.
+  void drain(const std::function<void(std::size_t)>& fn);
+
+  std::size_t jobs_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for a generation
+  std::condition_variable done_cv_;  ///< caller waits for completion
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+
+  // State of the current `run` call (stable while workers are active).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t num_chunks_ = 0;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::size_t active_ = 0;  ///< workers still in the current generation
+  std::exception_ptr error_;
+};
+
+}  // namespace urn::exec

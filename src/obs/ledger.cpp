@@ -31,6 +31,17 @@ void RunLedger::add_all(std::string_view metric,
   for (double v : values) add(metric, v);
 }
 
+void RunLedger::merge(const RunLedger& other) {
+  for (const auto& [metric, samples] : other.samples_) {
+    const auto it = samples_.find(metric);
+    if (it == samples_.end()) {
+      samples_.emplace(metric, samples);
+    } else {
+      it->second.merge(samples);
+    }
+  }
+}
+
 std::size_t RunLedger::trials(std::string_view metric) const {
   const auto it = samples_.find(metric);
   return it == samples_.end() ? 0 : it->second.count();

@@ -41,6 +41,13 @@ class RunLedger {
   /// Record one value per trial in bulk.
   void add_all(std::string_view metric, const std::vector<double>& values);
 
+  /// Append another ledger's samples after this one's, metric by metric
+  /// (metrics unknown here are adopted).  Merging per-chunk ledgers in
+  /// trial order is bit-identical to recording every trial into one
+  /// ledger serially — the merge-safety contract of
+  /// `exec::parallel_for_trials` (see `Samples::merge`).
+  void merge(const RunLedger& other);
+
   [[nodiscard]] bool empty() const { return samples_.empty(); }
   [[nodiscard]] std::size_t num_metrics() const { return samples_.size(); }
   /// Trials recorded for `metric` (0 if unknown).

@@ -7,30 +7,46 @@ CounterRegistry& CounterRegistry::global() {
   return instance;
 }
 
-std::uint64_t& CounterRegistry::counter(std::string_view name) {
+std::uint64_t& CounterRegistry::cell(std::string_view name) {
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
   return counters_.emplace(std::string(name), 0).first->second;
 }
 
+std::uint64_t& CounterRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The map is node-based, so the reference stays valid across later
+  // insertions; concurrent *use* of the reference is the caller's
+  // single-threaded contract.
+  return cell(name);
+}
+
+void CounterRegistry::add(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cell(name) += delta;
+}
+
 std::uint64_t CounterRegistry::value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void CounterRegistry::add_duration(std::string_view name, std::uint64_t ns) {
   std::string key(name);
-  counter(key + ".ns") += ns;
-  counter(key + ".calls") += 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  cell(key + ".ns") += ns;
+  cell(key + ".calls") += 1;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot()
     const {
+  std::lock_guard<std::mutex> lock(mu_);
   return {counters_.begin(), counters_.end()};
 }
 
 void CounterRegistry::report(std::FILE* out) const {
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : snapshot()) {
     if (name.size() > 3 && name.compare(name.size() - 3, 3, ".ns") == 0) {
       std::fprintf(out, "%-40s %12llu  (%.3f ms)\n", name.c_str(),
                    static_cast<unsigned long long>(value),
@@ -40,6 +56,16 @@ void CounterRegistry::report(std::FILE* out) const {
                    static_cast<unsigned long long>(value));
     }
   }
+}
+
+void CounterRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+}
+
+bool CounterRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty();
 }
 
 }  // namespace urn::obs

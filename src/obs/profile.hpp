@@ -6,9 +6,16 @@
 /// accumulates it, by name, into a `CounterRegistry`: each scope `name`
 /// maintains `<name>.ns` (total nanoseconds) and `<name>.calls`.
 /// Free-form counters (`registry.counter("engine.runs")++`) share the
-/// same namespace, so one report covers both.  The registry is a plain
-/// single-threaded value type; `CounterRegistry::global()` is the
-/// process-wide instance the runner and bench binaries use.
+/// same namespace, so one report covers both.
+///
+/// Thread-safety: `add`, `add_duration`, `value`, `snapshot`, `report`
+/// and `clear` lock an internal mutex, so concurrent trial workers
+/// (exec::TrialPool) may bump counters on the shared
+/// `CounterRegistry::global()` instance — counter *sums* commute, so
+/// count-type counters stay deterministic under parallel execution (the
+/// `.ns` wall-clock totals never were, and are excluded from the bench
+/// regression diff).  `counter()` hands out a raw reference and is for
+/// single-threaded phases only.
 
 #pragma once
 
@@ -16,6 +23,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -23,20 +31,30 @@
 
 namespace urn::obs {
 
-/// Ordered name → value counter map.  Not thread-safe (the whole repo is
-/// single-threaded per run).
+/// Ordered name → value counter map (see file comment for the
+/// thread-safety contract).
 class CounterRegistry {
  public:
   /// The process-wide registry.
   static CounterRegistry& global();
 
-  /// Value cell for `name`, created at 0 on first use.
+  CounterRegistry() = default;
+  CounterRegistry(const CounterRegistry&) = delete;
+  CounterRegistry& operator=(const CounterRegistry&) = delete;
+
+  /// Value cell for `name`, created at 0 on first use.  The returned
+  /// reference is only safe to use while no other thread touches the
+  /// registry — parallel code must use `add` instead.
   std::uint64_t& counter(std::string_view name);
+
+  /// Atomically add `delta` to `name` (thread-safe).
+  void add(std::string_view name, std::uint64_t delta);
 
   /// Read-only lookup; 0 if absent.
   [[nodiscard]] std::uint64_t value(std::string_view name) const;
 
-  /// Accumulate a duration under `<name>.ns` / `<name>.calls`.
+  /// Accumulate a duration under `<name>.ns` / `<name>.calls`
+  /// (thread-safe).
   void add_duration(std::string_view name, std::uint64_t ns);
 
   /// Snapshot of all counters, name-sorted.
@@ -46,10 +64,14 @@ class CounterRegistry {
   /// Print `name value` lines (durations rendered in ms alongside ns).
   void report(std::FILE* out) const;
 
-  void clear() { counters_.clear(); }
-  [[nodiscard]] bool empty() const { return counters_.empty(); }
+  void clear();
+  [[nodiscard]] bool empty() const;
 
  private:
+  /// Lookup-or-insert without locking; callers hold `mu_`.
+  std::uint64_t& cell(std::string_view name);
+
+  mutable std::mutex mu_;
   std::map<std::string, std::uint64_t, std::less<>> counters_;
 };
 

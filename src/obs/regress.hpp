@@ -10,9 +10,10 @@
 /// disappeared), while extra fresh keys are fine (new metrics land
 /// without invalidating old baselines).  Numeric values compare within
 /// `abs_tol + rel_tol·|baseline|`; everything else must match exactly.
-/// Keys containing any `skip_substrings` entry (default: ".ns", the
-/// wall-clock profile counters) are excluded — those are the only
-/// nondeterministic fields in a fixed-seed run.
+/// Keys containing any `skip_substrings` entry are excluded.  The default
+/// covers ".ns" (wall-clock profile counters — the only nondeterministic
+/// fields in a fixed-seed run) and "jobs" (the worker-thread count, an
+/// environment fact that never affects the measured statistics).
 ///
 /// This is the library half of the `urn_bench_diff` CLI and the
 /// `bench_regression` CTest gate.
@@ -52,7 +53,7 @@ struct DiffOptions {
   double rel_tol = 0.0;  ///< allowed |fresh-base| relative to |base|
   double abs_tol = 0.0;  ///< allowed absolute drift
   /// Keys containing any of these substrings are not compared.
-  std::vector<std::string> skip_substrings = {".ns"};
+  std::vector<std::string> skip_substrings = {".ns", "jobs"};
 };
 
 /// One detected regression.

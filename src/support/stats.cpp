@@ -51,6 +51,12 @@ void Samples::add_all(const std::vector<double>& xs) {
   sorted_valid_ = false;
 }
 
+void Samples::merge(const Samples& other) {
+  values_.insert(values_.end(), other.values_.begin(),
+                 other.values_.end());
+  sorted_valid_ = false;
+}
+
 double Samples::mean() const {
   if (values_.empty()) return 0.0;
   double sum = 0.0;

@@ -60,6 +60,14 @@ class Samples {
 
   [[nodiscard]] const std::vector<double>& values() const { return values_; }
 
+  /// Append `other`'s samples after this one's, preserving their order.
+  /// Merging any in-order partition of a sample stream is exactly
+  /// equivalent to having added the whole stream to one `Samples` —
+  /// every statistic (count, min, max, mean, percentiles) is
+  /// bit-identical — which is what makes parallel trial aggregation
+  /// (exec::parallel_for_trials) safe.
+  void merge(const Samples& other);
+
  private:
   void ensure_sorted() const;
 

@@ -80,9 +80,10 @@ int main(int argc, char** argv) {
                    "allowed relative drift per numeric metric");
   flags.add_double("abs-tol", 0.0,
                    "allowed absolute drift per numeric metric");
-  flags.add_string("skip", ".ns",
+  flags.add_string("skip", ".ns,jobs",
                    "comma-separated key substrings to skip (wall-clock "
-                   "counters by default; empty = compare everything)");
+                   "counters and the worker-thread count by default; "
+                   "empty = compare everything)");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
