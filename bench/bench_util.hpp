@@ -11,15 +11,19 @@
 ///    `URN_BENCH_CSV` convention of analysis::Table).  Keys are dotted
 ///    paths ("scenario.n", "medium.collisions"), values JSON scalars.
 ///
-///  * `TraceArgs` — the standard `--trace` / `--metrics-out` /
-///    `--metrics-window` / `--monitor` / `--jobs` flag set that lets any
-///    experiment record one representative run as a JSONL event log (for
-///    `urn_trace`), a per-window metrics CSV, check the paper's
+///  * `TraceArgs` — the standard `--trace` / `--trace-bin` /
+///    `--trace-bin-ring` / `--metrics-out` / `--metrics-window` /
+///    `--monitor` / `--spans-out` / `--jobs` flag set that lets any
+///    experiment record one representative run as a JSONL and/or compact
+///    binary event log (both for `urn_trace`; the binary one optionally
+///    ring-bounded), a per-window metrics CSV, check the paper's
 ///    invariants online (failing the binary with exit 2 on violation),
-///    and fan its trial loops out across worker threads (`--jobs`,
-///    bit-identical results for every value; the resolved count is
-///    recorded as the `jobs` key of `BENCH_<name>.json`, which the
-///    regression diff skips alongside the `.ns` wall-clock keys).
+///    capture wall-clock span timelines (runner phases + executor
+///    workers) as Chrome trace-event JSON, and fan its trial loops out
+///    across worker threads (`--jobs`, bit-identical results for every
+///    value; the resolved count is recorded as the `jobs` key of
+///    `BENCH_<name>.json`, which the regression diff skips alongside the
+///    `.ns` wall-clock keys).
 ///
 ///  * `ledger_record` / `ledger_emit` — feed each trial's `RunResult`
 ///    into an `obs::RunLedger` and export the percentile summaries
@@ -31,6 +35,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,6 +47,7 @@
 #include "exec/chunk.hpp"
 #include "graph/generators.hpp"
 #include "graph/independence.hpp"
+#include "obs/chrome.hpp"
 #include "obs/ledger.hpp"
 #include "obs/monitor.hpp"
 #include "obs/profile.hpp"
@@ -172,11 +178,21 @@ class BenchSummary {
 /// The standard observability + execution flag set for experiment
 /// binaries.
 struct TraceArgs {
-  std::string trace_path;    ///< --trace: JSONL event log destination
+  std::string trace_path;      ///< --trace: JSONL event log destination
+  std::string trace_bin_path;  ///< --trace-bin: binary event log
+  std::size_t bin_ring = 0;    ///< --trace-bin-ring: keep last N (0 = all)
   std::string metrics_path;  ///< --metrics-out: per-window CSV destination
+  std::string spans_path;    ///< --spans-out: Chrome-trace span timeline
   std::int64_t window = 16;  ///< --metrics-window
   bool monitor = false;      ///< --monitor: online invariant checks
   std::size_t jobs = 1;      ///< --jobs: trial-loop workers (0 = all cores)
+
+  /// Shared wall-clock span collector, created when --spans-out is set.
+  /// Every copy of the parsed args feeds the same sink (runner phases
+  /// via `options()`, executor chunks via `exec()`); the Chrome-trace
+  /// file is written when the last copy goes out of scope, so capture
+  /// order never matters.
+  std::shared_ptr<obs::SpanSink> spans;
 
   /// Resolved worker count (0 expanded to the hardware thread count).
   [[nodiscard]] std::size_t resolved_jobs() const {
@@ -186,18 +202,23 @@ struct TraceArgs {
   [[nodiscard]] analysis::TrialExecOptions exec() const {
     analysis::TrialExecOptions opts;
     opts.jobs = jobs;
+    opts.spans = spans.get();
     return opts;
   }
 
   [[nodiscard]] bool enabled() const {
-    return monitor || !trace_path.empty() || !metrics_path.empty();
+    return monitor || !trace_path.empty() || !trace_bin_path.empty() ||
+           !metrics_path.empty();
   }
   [[nodiscard]] core::TraceOptions options() const {
     core::TraceOptions opts;
     opts.metrics = !metrics_path.empty();
     opts.metrics_window = window;
     opts.events_jsonl = trace_path;
+    opts.events_bin = trace_bin_path;
+    opts.bin_ring = bin_ring;
     opts.monitor = monitor;
+    opts.spans = spans.get();
     return opts;
   }
 };
@@ -209,8 +230,17 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
   flags.add_string("trace", "",
                    "record one representative run as a JSONL event log "
                    "(analyze with urn_trace)");
+  flags.add_string("trace-bin", "",
+                   "record that run as a compact binary event log "
+                   "(urn_trace auto-detects it)");
+  flags.add_int("trace-bin-ring", 0,
+                "bound the binary log to the last N events "
+                "(flight-recorder mode; 0 = keep everything)");
   flags.add_string("metrics-out", "",
                    "write that run's per-window metrics series as CSV");
+  flags.add_string("spans-out", "",
+                   "record wall-clock span timelines (runner phases, "
+                   "executor workers) as Chrome trace-event JSON");
   flags.add_int("metrics-window", 16, "metrics window width in slots");
   flags.add_bool("monitor", false,
                  "check the paper's invariants online on the traced run; "
@@ -229,14 +259,20 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
   }
   TraceArgs args;
   args.trace_path = flags.get_string("trace");
+  args.trace_bin_path = flags.get_string("trace-bin");
+  args.bin_ring = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, flags.get_int("trace-bin-ring")));
   args.metrics_path = flags.get_string("metrics-out");
+  args.spans_path = flags.get_string("spans-out");
   args.window = std::max<std::int64_t>(1, flags.get_int("metrics-window"));
   args.monitor = flags.get_bool("monitor");
   args.jobs =
       static_cast<std::size_t>(std::max<std::int64_t>(0, flags.get_int("jobs")));
   // Fail on unwritable destinations now, not after the (often long)
   // aggregate loops have already run.
-  for (const std::string& path : {args.trace_path, args.metrics_path}) {
+  for (const std::string& path :
+       {args.trace_path, args.trace_bin_path, args.metrics_path,
+        args.spans_path}) {
     if (path.empty()) continue;
     std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) {
@@ -244,6 +280,19 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
       std::exit(2);
     }
     std::fclose(f);
+  }
+  if (!args.spans_path.empty()) {
+    const std::string out = args.spans_path;
+    args.spans = std::shared_ptr<obs::SpanSink>(
+        new obs::SpanSink(), [out](obs::SpanSink* s) {
+          if (obs::write_chrome_spans_file(out, *s)) {
+            std::printf("(spans: %zu -> %s; open in ui.perfetto.dev)\n",
+                        s->size(), out.c_str());
+          } else {
+            std::fprintf(stderr, "cannot write %s\n", out.c_str());
+          }
+          delete s;
+        });
   }
   return args;
 }
@@ -257,12 +306,12 @@ inline core::RunResult run_traced(const TraceArgs& args,
                                   radio::MediumOptions medium = {}) {
   const core::RunResult run = core::run_coloring_traced(
       g, params, schedule, seed, args.options(), /*max_slots=*/0, medium);
-  if (!args.trace_path.empty()) {
+  for (const std::string& log : {args.trace_path, args.trace_bin_path}) {
+    if (log.empty()) continue;
     std::printf("(trace: %llu events -> %s; validate with "
                 "urn_trace --log %s --kappa2 %u)\n",
                 static_cast<unsigned long long>(run.events_recorded),
-                args.trace_path.c_str(), args.trace_path.c_str(),
-                params.kappa2);
+                log.c_str(), log.c_str(), params.kappa2);
   }
   if (!args.metrics_path.empty() && run.series.has_value()) {
     if (run.series->write_csv_file(args.metrics_path)) {

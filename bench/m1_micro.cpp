@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "baselines/message_passing.hpp"
 #include "core/chi.hpp"
 #include "core/protocol.hpp"
@@ -12,6 +14,7 @@
 #include "graph/coloring.hpp"
 #include "graph/generators.hpp"
 #include "graph/independence.hpp"
+#include "obs/bintrace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "support/rng.hpp"
@@ -126,6 +129,95 @@ void BM_EventSinkRecord(benchmark::State& state) {
   state.SetItemsProcessed(recorded);
 }
 BENCHMARK(BM_EventSinkRecord);
+
+// ---- trace-capture overhead -----------------------------------------------
+// The BM_Sink* family drives the same synthetic event mix through every
+// sink so items/s compare directly: NullSink is the compiled-out floor,
+// MemorySink the in-memory ceiling, and JsonlSink vs BinSink is the
+// serialization gap that motivates the binary format (the PR gate cites
+// BinSink >= 5x JsonlSink events/s from these numbers).
+
+/// One protocol-shaped event per call, cycling through the kinds whose
+/// serializations differ most (transmit with value, delivery, phase).
+obs::Event synthetic_event(obs::Slot s) {
+  const auto node = static_cast<obs::NodeId>(s & 63);
+  switch (s % 3) {
+    case 0:
+      return obs::Event::transmit(
+          s, node, static_cast<std::uint8_t>(obs::MsgCode::kCompete),
+          /*color=*/static_cast<std::int32_t>(s & 7), /*counter=*/s);
+    case 1:
+      return obs::Event::delivery(
+          s, node, static_cast<obs::NodeId>((s + 1) & 63),
+          static_cast<std::uint8_t>(obs::MsgCode::kAssign),
+          /*color=*/static_cast<std::int32_t>(s & 7));
+    default:
+      return obs::Event::phase_change(
+          s, node, static_cast<std::uint8_t>(obs::PhaseCode::kVerify),
+          /*color=*/static_cast<std::int32_t>(s & 7));
+  }
+}
+
+/// The shared 1024-event batch, built once outside the timed region so
+/// items/s measures sink cost alone, not event construction.
+const std::vector<obs::Event>& synthetic_batch() {
+  static const std::vector<obs::Event> batch = [] {
+    std::vector<obs::Event> v;
+    for (obs::Slot s = 0; s < 1024; ++s) v.push_back(synthetic_event(s));
+    return v;
+  }();
+  return batch;
+}
+
+template <typename Sink>
+void sink_throughput(benchmark::State& state, Sink& sink) {
+  const auto& batch = synthetic_batch();
+  std::int64_t recorded = 0;
+  for (auto _ : state) {
+    for (const auto& e : batch) sink.record(e);
+    recorded += static_cast<std::int64_t>(batch.size());
+  }
+  sink.flush();
+  state.SetItemsProcessed(recorded);
+}
+
+void BM_SinkNull(benchmark::State& state) {
+  obs::NullSink sink;
+  sink_throughput(state, sink);
+}
+BENCHMARK(BM_SinkNull);
+
+void BM_SinkMemory(benchmark::State& state) {
+  obs::MemorySink sink;
+  sink_throughput(state, sink);
+  benchmark::DoNotOptimize(sink.size());
+}
+BENCHMARK(BM_SinkMemory);
+
+void BM_SinkJsonl(benchmark::State& state) {
+  obs::JsonlSink sink("m1_sink_bench.jsonl");
+  sink_throughput(state, sink);
+  benchmark::DoNotOptimize(sink.written());
+  std::remove("m1_sink_bench.jsonl");
+}
+BENCHMARK(BM_SinkJsonl);
+
+void BM_SinkBin(benchmark::State& state) {
+  obs::BinSink sink("m1_sink_bench.bin");
+  sink_throughput(state, sink);
+  benchmark::DoNotOptimize(sink.written());
+  std::remove("m1_sink_bench.bin");
+}
+BENCHMARK(BM_SinkBin);
+
+void BM_SinkBinRing(benchmark::State& state) {
+  // Flight-recorder mode: bounded memory, no I/O until flush.
+  obs::BinSink sink("m1_sink_bench_ring.bin", /*ring_capacity=*/1 << 12);
+  sink_throughput(state, sink);
+  benchmark::DoNotOptimize(sink.written());
+  std::remove("m1_sink_bench_ring.bin");
+}
+BENCHMARK(BM_SinkBinRing);
 
 void BM_GreedyColoring(benchmark::State& state) {
   Rng rng(5);

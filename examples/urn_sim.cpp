@@ -104,6 +104,12 @@ int main(int argc, char** argv) {
   flags.add_bool("verbose", false, "per-trial details");
   flags.add_string("trace", "",
                    "record trial 0 as a JSONL event log (see urn_trace)");
+  flags.add_string("trace-bin", "",
+                   "record trial 0 as a compact binary event log "
+                   "(urn_trace auto-detects the format)");
+  flags.add_int("trace-bin-ring", 0,
+                "bound the binary log to the most recent N events "
+                "(0 = keep every event)");
   flags.add_string("metrics-out", "",
                    "write trial 0's per-window metrics series as CSV");
   flags.add_int("metrics-window", 16, "metrics window width in slots");
@@ -145,14 +151,19 @@ int main(int argc, char** argv) {
 
   core::TraceOptions trace;
   trace.events_jsonl = flags.get_string("trace");
+  trace.events_bin = flags.get_string("trace-bin");
+  trace.bin_ring = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, flags.get_int("trace-bin-ring")));
   trace.metrics = !flags.get_string("metrics-out").empty();
   trace.metrics_window =
       std::max<std::int64_t>(1, flags.get_int("metrics-window"));
   const bool monitor = flags.get_bool("monitor");
-  const bool tracing = trace.metrics || !trace.events_jsonl.empty();
+  const bool tracing =
+      trace.metrics || !trace.events_jsonl.empty() || !trace.events_bin.empty();
   // Reject unwritable destinations up front rather than aborting mid-run.
   for (const std::string& path :
-       {trace.events_jsonl, flags.get_string("metrics-out")}) {
+       {trace.events_jsonl, trace.events_bin,
+        flags.get_string("metrics-out")}) {
     if (path.empty()) continue;
     std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) {
@@ -253,10 +264,11 @@ int main(int argc, char** argv) {
   }
   if (tracing && sim.trial0.has_value()) {
     const core::RunResult& run = *sim.trial0;
-    if (!trace.events_jsonl.empty()) {
+    for (const std::string& out : {trace.events_jsonl, trace.events_bin}) {
+      if (out.empty()) continue;
       std::printf("(trace: %llu events -> %s)\n",
                   static_cast<unsigned long long>(run.events_recorded),
-                  trace.events_jsonl.c_str());
+                  out.c_str());
     }
     if (run.series.has_value()) {
       const std::string out = flags.get_string("metrics-out");

@@ -104,7 +104,7 @@ CoreAggregate run_core_trials(const graph::Graph& g,
   core::TraceOptions monitored;
   monitored.monitor = true;
   return exec::parallel_for_trials<CoreAggregate>(
-      trials, exec::ExecOptions{exec.jobs, exec.chunk},
+      trials, exec::ExecOptions{exec.jobs, exec.chunk, exec.spans},
       [&](CoreAggregate& agg, std::size_t t) {
         const std::uint64_t trial_seed = mix_seed(seed0, t);
         const radio::WakeSchedule schedule = schedules(trial_seed);
@@ -163,7 +163,7 @@ LeaderAggregate run_leader_trials(const graph::Graph& g,
                                   std::size_t trials, std::uint64_t seed0,
                                   const TrialExecOptions& exec) {
   return exec::parallel_for_trials<LeaderAggregate>(
-      trials, exec::ExecOptions{exec.jobs, exec.chunk},
+      trials, exec::ExecOptions{exec.jobs, exec.chunk, exec.spans},
       [&](LeaderAggregate& agg, std::size_t t) {
         const std::uint64_t trial_seed = mix_seed(seed0, t);
         const radio::WakeSchedule schedule = schedules(trial_seed);

@@ -71,6 +71,12 @@ struct TrialExecOptions {
   bool monitor = false;
   /// Hard slot cap per run (0 = default budget).
   radio::Slot max_slots = 0;
+  /// Optional wall-clock timeline (obs::SpanSink): each executor chunk
+  /// is recorded on its worker's track, giving a per-worker utilization
+  /// view exportable to Perfetto via `urn_trace --export chrome:`.
+  /// Spans never feed back into results.  Not owned; must outlive the
+  /// call.
+  obs::SpanSink* spans = nullptr;
 };
 
 /// Aggregates over `trials` independent protocol executions.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/bintrace.hpp"
 #include "obs/profile.hpp"
 #include "obs/sink.hpp"
 #include "support/check.hpp"
@@ -42,7 +43,8 @@ namespace {
 template <obs::EventSink S>
 RunResult run_impl(const graph::Graph& g, const Params& params,
                    const radio::WakeSchedule& schedule, std::uint64_t seed,
-                   Slot max_slots, radio::MediumOptions medium, S* sink) {
+                   Slot max_slots, radio::MediumOptions medium, S* sink,
+                   obs::SpanSink* spans = nullptr) {
   params.validate();
   URN_CHECK(schedule.size() == g.num_nodes());
   if (max_slots == 0) max_slots = default_slot_budget(params, schedule);
@@ -56,6 +58,7 @@ RunResult run_impl(const graph::Graph& g, const Params& params,
   }
   radio::Engine<ColoringNode, S> engine(g, schedule, std::move(nodes), seed,
                                         medium, sink);
+  engine.set_span_sink(spans);
   const radio::RunStats stats = engine.run(max_slots);
 
   RunResult result;
@@ -108,8 +111,8 @@ LeaderElectionResult leader_election_impl(const graph::Graph& g,
                                           const Params& params,
                                           const radio::WakeSchedule& schedule,
                                           std::uint64_t seed, Slot max_slots,
-                                          radio::MediumOptions medium,
-                                          S* sink) {
+                                          radio::MediumOptions medium, S* sink,
+                                          obs::SpanSink* spans = nullptr) {
   params.validate();
   URN_CHECK(schedule.size() == g.num_nodes());
   if (max_slots == 0) max_slots = default_slot_budget(params, schedule);
@@ -123,6 +126,7 @@ LeaderElectionResult leader_election_impl(const graph::Graph& g,
   }
   radio::Engine<ColoringNode, S> engine(g, schedule, std::move(nodes), seed,
                                         medium, sink);
+  engine.set_span_sink(spans);
 
   LeaderElectionResult result;
   result.leader_of.assign(g.num_nodes(), graph::kInvalidNode);
@@ -168,15 +172,19 @@ LeaderElectionResult leader_election_impl(const graph::Graph& g,
 }
 
 /// The sink stack every traced entry point shares: metrics + JSONL +
-/// online monitor, each optional, fanned out through nested TeeSinks.
+/// binary log + online monitor, each optional, fanned out through nested
+/// TeeSinks.
 struct TraceSinks {
   using Inner = obs::TeeSink<obs::MetricsSink, obs::JsonlSink>;
-  using Tee = obs::TeeSink<Inner, obs::InvariantMonitorSink>;
+  using Mid = obs::TeeSink<Inner, obs::BinSink>;
+  using Tee = obs::TeeSink<Mid, obs::InvariantMonitorSink>;
 
   obs::MetricsSink metrics;
   std::optional<obs::JsonlSink> jsonl;
+  std::optional<obs::BinSink> bin;
   std::optional<obs::InvariantMonitorSink> monitor;
   std::optional<Inner> inner;
+  std::optional<Mid> mid;
   std::optional<Tee> tee;
 
   TraceSinks(const graph::Graph& g, const Params& params,
@@ -187,23 +195,44 @@ struct TraceSinks {
       URN_CHECK_MSG(jsonl->ok(),
                     "traced run: cannot open " << trace.events_jsonl);
     }
+    if (!trace.events_bin.empty()) {
+      bin.emplace(trace.events_bin, trace.bin_ring);
+      URN_CHECK_MSG(bin->ok(),
+                    "traced run: cannot open " << trace.events_bin);
+    }
     if (trace.monitor) {
       monitor.emplace(make_monitor_config(g, params, schedule));
     }
     inner.emplace(trace.metrics ? &metrics : nullptr,
                   jsonl ? &*jsonl : nullptr);
-    tee.emplace(&*inner, monitor ? &*monitor : nullptr);
+    mid.emplace(&*inner, bin ? &*bin : nullptr);
+    tee.emplace(&*mid, monitor ? &*monitor : nullptr);
   }
 
   /// Harvest the artifacts into a result that carries the shared
-  /// `series` / `events_recorded` / `monitor` fields.
+  /// `series` / `events_recorded` / `monitor` fields, and account the
+  /// tracing overhead under `trace.overhead.*` (deterministic event /
+  /// byte counts; final-flush wall clock lands under `.ns` keys, which
+  /// the bench regression diff ignores).
   template <typename Result>
   void finish_into(Result& result, Slot slots_run,
                    const TraceOptions& trace) {
     if (trace.metrics) result.series = metrics.finish(slots_run);
+    auto& counters = obs::CounterRegistry::global();
+    if (jsonl || bin) {
+      obs::ProfileScope flush_scope("trace.overhead.flush");
+      if (jsonl) jsonl->flush();
+      if (bin) bin->flush();
+    }
     if (jsonl) {
-      jsonl->flush();
       result.events_recorded = jsonl->written();
+      counters.add("trace.overhead.jsonl.events", jsonl->written());
+      counters.add("trace.overhead.jsonl.bytes", jsonl->bytes());
+    }
+    if (bin) {
+      result.events_recorded = bin->written();
+      counters.add("trace.overhead.bin.events", bin->written());
+      counters.add("trace.overhead.bin.bytes", bin->bytes());
     }
     if (monitor) result.monitor = monitor->report();
   }
@@ -247,7 +276,7 @@ RunResult run_coloring_traced(const graph::Graph& g, const Params& params,
                               Slot max_slots, radio::MediumOptions medium) {
   TraceSinks sinks(g, params, schedule, trace);
   RunResult result = run_impl(g, params, schedule, seed, max_slots, medium,
-                              &*sinks.tee);
+                              &*sinks.tee, trace.spans);
   sinks.finish_into(result, result.medium.slots_run, trace);
   return result;
 }
@@ -267,7 +296,8 @@ LeaderElectionResult run_leader_election_traced(
     const TraceOptions& trace, Slot max_slots, radio::MediumOptions medium) {
   TraceSinks sinks(g, params, schedule, trace);
   LeaderElectionResult result = leader_election_impl(
-      g, params, schedule, seed, max_slots, medium, &*sinks.tee);
+      g, params, schedule, seed, max_slots, medium, &*sinks.tee,
+      trace.spans);
   sinks.finish_into(result, result.medium.slots_run, trace);
   return result;
 }

@@ -21,6 +21,7 @@
 #include "graph/graph.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
+#include "obs/span.hpp"
 #include "radio/engine.hpp"
 #include "radio/wakeup.hpp"
 
@@ -56,7 +57,8 @@ struct RunResult {
   /// Per-window medium/protocol time series; only populated by
   /// `run_coloring_traced` with `TraceOptions::metrics` set.
   std::optional<obs::TimeSeries> series;
-  /// Events written to `TraceOptions::events_jsonl` (0 when not tracing).
+  /// Events streamed to the event logs (`events_jsonl` / `events_bin`;
+  /// 0 when not tracing).
   std::uint64_t events_recorded = 0;
   /// Online invariant report; only populated with `TraceOptions::monitor`.
   std::optional<obs::MonitorReport> monitor;
@@ -78,9 +80,21 @@ struct TraceOptions {
   /// When non-empty, stream every event to this JSONL file (the format
   /// `urn_trace` consumes).
   std::string events_jsonl;
+  /// When non-empty, stream every event to this compact binary file
+  /// (`obs::BinSink`; ~4–5× smaller and far cheaper to write than JSONL;
+  /// `urn_trace` auto-detects it by magic).
+  std::string events_bin;
+  /// Ring capacity for the binary log: 0 = keep everything; N > 0 = keep
+  /// only the last N events in O(N) memory ("flight recorder" mode; the
+  /// header records how many were dropped).
+  std::size_t bin_ring = 0;
   /// Check the paper's invariants online (`make_monitor_config` builds
   /// the configuration) and fill `RunResult::monitor`.
   bool monitor = false;
+  /// Optional wall-clock span timeline: the engine records per-slot
+  /// phase residencies (wake-up processing / protocol step / medium
+  /// resolution) into it.  Not owned; must outlive the run.
+  obs::SpanSink* spans = nullptr;
 };
 
 /// Build the full `obs::MonitorConfig` for a run on `g`: κ₂ and the
@@ -155,7 +169,8 @@ struct LeaderElectionResult {
   /// Per-window time series; only populated by the traced variant with
   /// `TraceOptions::metrics` set.
   std::optional<obs::TimeSeries> series;
-  /// Events written to `TraceOptions::events_jsonl` (0 when not tracing).
+  /// Events streamed to the event logs (`events_jsonl` / `events_bin`;
+  /// 0 when not tracing).
   std::uint64_t events_recorded = 0;
   /// Online invariant report; only populated with `TraceOptions::monitor`.
   std::optional<obs::MonitorReport> monitor;

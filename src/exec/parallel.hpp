@@ -35,11 +35,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
 #include "exec/chunk.hpp"
 #include "exec/pool.hpp"
+#include "obs/span.hpp"
 
 namespace urn::exec {
 
@@ -50,6 +52,11 @@ struct ExecOptions {
   /// Trials per chunk; 0 = `default_chunk(trials, jobs)`.  Results do
   /// not depend on this, only wall-clock does.
   std::size_t chunk = 0;
+  /// Optional wall-clock timeline: each chunk is recorded as a span on
+  /// the executing worker's track ("worker N", N = 0 for the calling
+  /// thread).  Spans never feed back into results — determinism holds
+  /// with or without one.  Not owned; must outlive the call.
+  obs::SpanSink* spans = nullptr;
 };
 
 template <typename Partial, typename Body, typename Merge>
@@ -63,10 +70,25 @@ template <typename Partial, typename Body, typename Merge>
 
   std::vector<Partial> partials(plan.size());
   TrialPool pool(jobs);
+  if (options.spans != nullptr) {
+    for (std::size_t w = 0; w < jobs; ++w) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "worker %zu", w);
+      options.spans->name_track(static_cast<std::uint32_t>(w), label);
+    }
+  }
   pool.run(plan.size(), [&](std::size_t ci) {
+    const std::uint64_t t0 =
+        options.spans != nullptr ? options.spans->now_ns() : 0;
     Partial& partial = partials[ci];
     for (std::size_t t = plan[ci].begin; t < plan[ci].end; ++t) {
       body(partial, t);
+    }
+    if (options.spans != nullptr) {
+      options.spans->record(
+          "chunk", static_cast<std::uint32_t>(TrialPool::current_worker()),
+          t0, options.spans->now_ns() - t0,
+          static_cast<std::int64_t>(ci));
     }
   });
 

@@ -4,10 +4,17 @@
 
 namespace urn::exec {
 
+namespace {
+/// Worker index of the current thread (0 = a pool's calling thread).
+thread_local std::size_t tls_worker_index = 0;
+}  // namespace
+
+std::size_t TrialPool::current_worker() { return tls_worker_index; }
+
 TrialPool::TrialPool(std::size_t jobs) : jobs_(resolve_jobs(jobs)) {
   workers_.reserve(jobs_ - 1);
   for (std::size_t i = 0; i + 1 < jobs_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -33,7 +40,8 @@ void TrialPool::drain(const std::function<void(std::size_t)>& fn) {
   }
 }
 
-void TrialPool::worker_loop() {
+void TrialPool::worker_loop(std::size_t worker_index) {
+  tls_worker_index = worker_index;
   std::uint64_t seen = 0;
   for (;;) {
     {

@@ -41,6 +41,12 @@ class TrialPool {
   /// Total workers, calling thread included.
   [[nodiscard]] std::size_t jobs() const { return jobs_; }
 
+  /// Stable index of the worker executing the current chunk: 0 for the
+  /// calling thread, 1..jobs-1 for pool threads.  Thread-local, so it
+  /// is meaningful only inside a `run` callback; used to attribute work
+  /// to per-worker timeline tracks (obs::SpanSink).
+  [[nodiscard]] static std::size_t current_worker();
+
   /// Invoke `fn(chunk_index)` once per index in [0, num_chunks); blocks
   /// until all chunks completed, then rethrows the first captured
   /// exception, if any.  Not reentrant.
@@ -48,7 +54,7 @@ class TrialPool {
            const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   /// Claim-and-run loop shared by workers and the calling thread.
   void drain(const std::function<void(std::size_t)>& fn);
 

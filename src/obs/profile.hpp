@@ -5,20 +5,32 @@
 /// `ProfileScope` measures the wall-clock time of a block (RAII) and
 /// accumulates it, by name, into a `CounterRegistry`: each scope `name`
 /// maintains `<name>.ns` (total nanoseconds) and `<name>.calls`.
-/// Free-form counters (`registry.counter("engine.runs")++`) share the
-/// same namespace, so one report covers both.
+/// Free-form counters (`registry.add("engine.runs", 1)`) share the same
+/// namespace, so one report covers both.
 ///
-/// Thread-safety: `add`, `add_duration`, `value`, `snapshot`, `report`
-/// and `clear` lock an internal mutex, so concurrent trial workers
-/// (exec::TrialPool) may bump counters on the shared
-/// `CounterRegistry::global()` instance — counter *sums* commute, so
-/// count-type counters stay deterministic under parallel execution (the
-/// `.ns` wall-clock totals never were, and are excluded from the bench
-/// regression diff).  `counter()` hands out a raw reference and is for
-/// single-threaded phases only.
+/// Thread-safety: counter cells are atomics living in a node-based map,
+/// so the registry distinguishes two cost tiers:
+///
+///  * `add` / `add_duration` / `value` lock the map mutex only to find
+///    (or insert) the cell, then update it atomically — safe from
+///    concurrent trial workers (exec::TrialPool) on the shared
+///    `global()` instance.  Counter *sums* commute, so count-type
+///    counters stay deterministic under parallel execution (the `.ns`
+///    wall-clock totals never were, and are excluded from the bench
+///    regression diff).
+///  * `handle(name)` resolves the cell *once* and returns a
+///    `CounterCell` whose `add()` is a single relaxed `fetch_add` — no
+///    lock, no string lookup.  This is the form for hot paths (sinks,
+///    per-slot loops).  Handles stay valid until `clear()`, which is
+///    documented to invalidate them.
+///
+/// `counter()` hands out a raw reference to the underlying atomic and
+/// remains only for single-threaded reporting/tests; new call sites
+/// should use `add` (occasional) or `handle` (hot).
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -31,6 +43,27 @@
 
 namespace urn::obs {
 
+/// A resolved counter cell: lock-free increments without re-hashing the
+/// counter name.  Obtain via `CounterRegistry::handle`; valid until the
+/// owning registry is cleared or destroyed.  Default-constructed cells
+/// discard adds (safe placeholder before wiring).
+class CounterCell {
+ public:
+  CounterCell() = default;
+  explicit CounterCell(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+
+  void add(std::uint64_t delta) {
+    if (cell_ != nullptr) cell_->fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return cell_ != nullptr ? cell_->load(std::memory_order_relaxed) : 0;
+  }
+  [[nodiscard]] bool attached() const { return cell_ != nullptr; }
+
+ private:
+  std::atomic<std::uint64_t>* cell_ = nullptr;
+};
+
 /// Ordered name → value counter map (see file comment for the
 /// thread-safety contract).
 class CounterRegistry {
@@ -42,10 +75,16 @@ class CounterRegistry {
   CounterRegistry(const CounterRegistry&) = delete;
   CounterRegistry& operator=(const CounterRegistry&) = delete;
 
-  /// Value cell for `name`, created at 0 on first use.  The returned
-  /// reference is only safe to use while no other thread touches the
-  /// registry — parallel code must use `add` instead.
-  std::uint64_t& counter(std::string_view name);
+  /// Value cell for `name`, created at 0 on first use.  For
+  /// single-threaded reporting and tests only — concurrent code must go
+  /// through `add` or a `handle` (the returned reference is the bare
+  /// atomic; nothing stops a caller from non-atomic read-modify-write
+  /// idioms around it).
+  std::atomic<std::uint64_t>& counter(std::string_view name);
+
+  /// Resolve `name` once and return a lock-free increment handle (the
+  /// hot-path form; see file comment).  Invalidated by `clear()`.
+  [[nodiscard]] CounterCell handle(std::string_view name);
 
   /// Atomically add `delta` to `name` (thread-safe).
   void add(std::string_view name, std::uint64_t delta);
@@ -64,15 +103,19 @@ class CounterRegistry {
   /// Print `name value` lines (durations rendered in ms alongside ns).
   void report(std::FILE* out) const;
 
+  /// Drop every counter.  Invalidates all `CounterCell` handles and
+  /// `counter()` references handed out so far.
   void clear();
   [[nodiscard]] bool empty() const;
 
  private:
   /// Lookup-or-insert without locking; callers hold `mu_`.
-  std::uint64_t& cell(std::string_view name);
+  std::atomic<std::uint64_t>& cell(std::string_view name);
 
   mutable std::mutex mu_;
-  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  /// Node-based map: cell addresses are stable across insertions, which
+  /// is what makes `CounterCell` handles safe to cache.
+  std::map<std::string, std::atomic<std::uint64_t>, std::less<>> counters_;
 };
 
 /// RAII wall-clock timer; records into the registry on destruction.

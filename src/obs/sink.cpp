@@ -21,7 +21,7 @@ void JsonlSink::record(const Event& e) {
 
 void JsonlSink::flush() {
   if (file_ == nullptr || buffer_.empty()) return;
-  std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+  bytes_ += std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
   std::fflush(file_);
   buffer_.clear();
 }

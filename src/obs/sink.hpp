@@ -118,6 +118,8 @@ class JsonlSink {
 
   [[nodiscard]] bool ok() const { return file_ != nullptr; }
   [[nodiscard]] std::uint64_t written() const { return written_; }
+  /// File bytes emitted so far (flushed serializations).
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
@@ -127,6 +129,7 @@ class JsonlSink {
   std::FILE* file_ = nullptr;
   std::string buffer_;
   std::uint64_t written_ = 0;  ///< events serialized so far
+  std::uint64_t bytes_ = 0;    ///< file bytes emitted so far
 };
 
 /// Fan-out to two sinks; either pointer may be null.  Useful to collect

@@ -19,6 +19,7 @@ ParsedLog read_jsonl(std::istream& is) {
     if (parse_jsonl_line(line, e)) {
       out.events.push_back(e);
     } else {
+      if (out.lines == 1) out.first_line_bad = true;
       ++out.bad_lines;
     }
   }

@@ -32,6 +32,11 @@ struct ParsedLog {
   std::vector<Event> events;
   std::size_t lines = 0;
   std::size_t bad_lines = 0;
+  /// The first non-empty line failed to parse — the hallmark of a file
+  /// that is not a trace log at all (binary garbage, wrong file).
+  /// Consumers that want fail-fast semantics (urn_trace) treat this as
+  /// fatal; a bad line later in an otherwise-good log stays tolerant.
+  bool first_line_bad = false;
 };
 
 /// Parse every line of `is` with `parse_jsonl_line`.

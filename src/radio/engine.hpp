@@ -46,6 +46,7 @@
 #include "graph/graph.hpp"
 #include "obs/event.hpp"
 #include "obs/sink.hpp"
+#include "obs/span.hpp"
 #include "radio/message.hpp"
 #include "radio/wakeup.hpp"
 #include "support/check.hpp"
@@ -157,9 +158,20 @@ class Engine {
               });
   }
 
+  /// Attach a wall-clock span sink: each slot then records one span per
+  /// runner phase (wake / protocol / medium) on `kSpanTrack`.  Only
+  /// meaningful on sink-enabled instantiations — with `obs::NullSink`
+  /// the span hooks compile away along with the event emission sites,
+  /// so the untraced hot loop stays untouched.
+  void set_span_sink(obs::SpanSink* spans) { spans_ = spans; }
+
+  /// The track id engine phase spans are recorded under.
+  static constexpr std::uint32_t kSpanTrack = 0;
+
   /// Advance the simulation one slot.
   void step() {
     const Slot now = slot_;
+    const std::uint64_t ts_wake = span_now();
 
     // (1) Wake due nodes.
     while (next_wake_ < wake_order_.size() &&
@@ -173,6 +185,7 @@ class Engine {
     }
 
     // (2) Collect transmissions.
+    const std::uint64_t ts_protocol = span_now();
     transmitters_.clear();
     for (NodeId v : awake_list_) {
       if (dead_[v]) continue;
@@ -190,6 +203,7 @@ class Engine {
     stats_.transmissions += transmitters_.size();
 
     // (3) Resolve the medium: count transmitting neighbors per node.
+    const std::uint64_t ts_medium = span_now();
     for (const Message& msg : transmitters_) {
       const NodeId sender = msg.sender;
       for (NodeId u : graph_.neighbors(sender)) {
@@ -249,6 +263,10 @@ class Engine {
         });
       }
     }
+
+    span_emit("wake", ts_wake, ts_protocol, now);
+    span_emit("protocol", ts_protocol, ts_medium, now);
+    span_emit("medium", ts_medium, span_now(), now);
 
     ++slot_;
     stats_.slots_run = slot_;
@@ -321,6 +339,24 @@ class Engine {
     }
   }
 
+  /// Span-sink timestamp; a compile-time 0 when tracing is off, so the
+  /// phase-boundary reads in `step` fold away with `span_emit`.
+  [[nodiscard]] std::uint64_t span_now() const {
+    if constexpr (S::kEnabled) {
+      if (spans_ != nullptr) return spans_->now_ns();
+    }
+    return 0;
+  }
+
+  void span_emit(const char* name, std::uint64_t begin, std::uint64_t end,
+                 Slot slot) {
+    if constexpr (S::kEnabled) {
+      if (spans_ != nullptr) {
+        spans_->record(name, kSpanTrack, begin, end - begin, slot);
+      }
+    }
+  }
+
   [[nodiscard]] SlotContext context(NodeId v, Slot now) {
     SlotContext ctx;
     ctx.id = v;
@@ -344,6 +380,7 @@ class Engine {
   MediumOptions medium_;
   Rng medium_rng_;
   S* sink_;
+  obs::SpanSink* spans_ = nullptr;  ///< wall-clock phase spans (optional)
   std::vector<Rng> rngs_;
 
   Slot slot_ = 0;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -54,6 +55,61 @@ TEST(Event, JsonlRoundTripsEveryKind) {
     ASSERT_TRUE(parse_jsonl_line(line, back)) << line;
     EXPECT_EQ(back, e) << line;
   }
+}
+
+TEST(Event, JsonlRoundTripsExtremeFieldValues) {
+  // Every kind at the edges of its field domains: INT64 extremes for
+  // slots / values, UINT32_MAX (kNoNode) node / peer ids, INT32 extremes
+  // for colors.  Serialization and parsing must be exact — no precision
+  // loss through the text form.
+  constexpr Slot kSlotMax = std::numeric_limits<Slot>::max();
+  constexpr Slot kSlotMin = std::numeric_limits<Slot>::min();
+  constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kI64Min = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int32_t kI32Max = std::numeric_limits<std::int32_t>::max();
+  constexpr std::int32_t kI32Min = std::numeric_limits<std::int32_t>::min();
+  const Event samples[] = {
+      Event::wake(kSlotMax, kNoNode),
+      Event::wake(kSlotMin, 0),
+      Event::transmit(kSlotMax, kNoNode,
+                      static_cast<std::uint8_t>(MsgCode::kCompete), kI32Max,
+                      kI64Max),
+      Event::transmit(kSlotMin, kNoNode,
+                      static_cast<std::uint8_t>(MsgCode::kCompete), kI32Min,
+                      kI64Min),
+      Event::delivery(kSlotMax, kNoNode, kNoNode - 1,
+                      static_cast<std::uint8_t>(MsgCode::kAssign), kI32Min),
+      Event::collision(kSlotMin, kNoNode),
+      Event::drop(-1, kNoNode, 0,
+                  static_cast<std::uint8_t>(MsgCode::kDecided)),
+      Event::phase_change(kSlotMax, kNoNode,
+                          static_cast<std::uint8_t>(PhaseCode::kDecided),
+                          kI32Max),
+      Event::reset(kSlotMin, kNoNode, kI32Min, kI64Min),
+      Event::decision(kSlotMax, kNoNode, kI32Max, kI64Max),
+      Event::serve(kSlotMin, kNoNode, kNoNode, kI64Min),
+  };
+  for (const Event& e : samples) {
+    std::string line;
+    append_jsonl(line, e);
+    Event back;
+    ASSERT_TRUE(parse_jsonl_line(line, back)) << line;
+    EXPECT_EQ(back, e) << line;
+  }
+}
+
+TEST(Event, ParserToleratesEscapedAndUnknownStringPayloads) {
+  // Events carry no free-form strings, but the parser must tolerate
+  // foreign keys carrying escaped payloads without corrupting the
+  // event fields around them.
+  Event out;
+  ASSERT_TRUE(parse_jsonl_line(
+      R"({"slot":3,"kind":"wake","node":1,"note":"a \"quoted\" \\ payload"})",
+      out));
+  EXPECT_EQ(out, Event::wake(3, 1));
+  ASSERT_TRUE(parse_jsonl_line(
+      R"({"slot":4,"kind":"wake","node":2,"note":""})", out));
+  EXPECT_EQ(out, Event::wake(4, 2));
 }
 
 TEST(Event, ParserRejectsGarbage) {
@@ -452,6 +508,32 @@ TEST(Profiling, CountersAccumulateAndSnapshotSorted) {
   EXPECT_EQ(snap[1].first, "b.two");
   reg.clear();
   EXPECT_TRUE(reg.empty());
+}
+
+TEST(Profiling, HandlesAreLockFreeCellsIntoTheRegistry) {
+  CounterRegistry reg;
+  CounterCell cell = reg.handle("hot.path");
+  EXPECT_TRUE(cell.attached());
+  cell.add(3);
+  cell.add(4);
+  EXPECT_EQ(cell.value(), 7u);
+  EXPECT_EQ(reg.value("hot.path"), 7u);
+  // `add` and a cached handle hit the same cell.
+  reg.add("hot.path", 1);
+  EXPECT_EQ(cell.value(), 8u);
+  // Handles stay valid across later insertions (node-based map).
+  for (int i = 0; i < 100; ++i) {
+    (void)reg.handle("other." + std::to_string(i));
+  }
+  cell.add(1);
+  EXPECT_EQ(reg.value("hot.path"), 9u);
+}
+
+TEST(Profiling, DetachedHandleDiscardsAdds) {
+  CounterCell cell;
+  EXPECT_FALSE(cell.attached());
+  cell.add(5);  // no crash, no effect
+  EXPECT_EQ(cell.value(), 0u);
 }
 
 TEST(Profiling, ScopeRecordsDurationAndCallCount) {

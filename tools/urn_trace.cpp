@@ -1,22 +1,29 @@
 /// \file urn_trace.cpp
-/// \brief Trace analyzer CLI: replay a JSONL event log recorded by a
-///        traced run and (a) validate every node's Fig. 2 walk, (b) print
-///        per-node timelines, (c) re-derive the per-window metrics CSV.
+/// \brief Trace analyzer CLI: replay an event log recorded by a traced
+///        run (JSONL or compact binary, auto-detected) and (a) validate
+///        every node's Fig. 2 walk, (b) print per-node timelines,
+///        (c) re-derive the per-window metrics CSV, (d) export a
+///        Perfetto / chrome://tracing timeline.
 ///
 /// Examples:
 ///   urn_trace --log run.jsonl                      # summary + validation
+///   urn_trace --log run.bin                        # binary, auto-detected
 ///   urn_trace --log run.jsonl --kappa2 12          # also check tc(κ₂+1)
 ///   urn_trace --log run.jsonl --timelines          # per-node histories
 ///   urn_trace --log run.jsonl --metrics-out m.csv --window 64
 ///   urn_trace --log run.jsonl --latency-budget 40000   # Thm 3 replay
+///   urn_trace --log run.bin --export chrome:run.json   # open in Perfetto
 ///
 /// Exit status: 0 when the log passes every enabled check, 1 when
-/// violations were found, 2 on usage / I/O errors.
+/// violations were found, 2 on usage / I/O errors (unreadable log,
+/// malformed header / first line, unknown export format).
 
 #include <algorithm>
 #include <cstdio>
 #include <string>
 
+#include "obs/bintrace.hpp"
+#include "obs/chrome.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
 #include "obs/trace.hpp"
@@ -26,7 +33,8 @@ int main(int argc, char** argv) {
   using namespace urn;
 
   CliFlags flags;
-  flags.add_string("log", "", "JSONL event log to analyze (required)");
+  flags.add_string("log", "",
+                   "event log to analyze, JSONL or binary (required)");
   flags.add_int("kappa2", 0,
                 "the run's kappa2; enables the R -> A_{tc(k2+1)} "
                 "multiple-of check (0 = skip)");
@@ -39,6 +47,10 @@ int main(int argc, char** argv) {
   flags.add_int("latency-budget", 0,
                 "per-node Theorem 3 slot budget; replays the online "
                 "invariant monitor over the log (0 = skip)");
+  flags.add_string("export", "",
+                   "export the log as a timeline; format chrome:PATH "
+                   "writes Chrome trace-event JSON for Perfetto / "
+                   "chrome://tracing");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
@@ -56,13 +68,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const obs::ParsedLogFile log = obs::read_jsonl_file(path);
+  const obs::ParsedTraceFile log = obs::read_trace_file(path);
   if (!log.ok) {
-    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::fprintf(stderr, "error: %s\n", log.error.c_str());
     return 2;
   }
-  std::printf("%s: %zu lines, %zu events, %zu malformed\n", path.c_str(),
-              log.lines, log.events.size(), log.bad_lines);
+  std::printf("%s: %s, %zu records, %zu events, %zu malformed\n",
+              path.c_str(), log.binary ? "binary" : "jsonl", log.records,
+              log.events.size(), log.bad);
+  if (log.dropped != 0) {
+    std::printf("ring capture: %llu earlier events dropped\n",
+                static_cast<unsigned long long>(log.dropped));
+  }
 
   // ---- per-kind totals ----------------------------------------------------
   std::size_t by_kind[obs::kNumEventKinds] = {};
@@ -134,6 +151,28 @@ int main(int argc, char** argv) {
                 series.size(), static_cast<long long>(series.window()),
                 metrics_out.c_str(),
                 static_cast<unsigned long long>(series.peak_collisions()));
+  }
+
+  // ---- optional timeline export ------------------------------------------
+  const std::string export_spec = flags.get_string("export");
+  if (!export_spec.empty()) {
+    const std::string kChrome = "chrome:";
+    if (export_spec.rfind(kChrome, 0) != 0 ||
+        export_spec.size() == kChrome.size()) {
+      std::fprintf(stderr,
+                   "error: unknown --export format '%s' "
+                   "(expected chrome:PATH)\n",
+                   export_spec.c_str());
+      return 2;
+    }
+    const std::string out = export_spec.substr(kChrome.size());
+    if (!obs::write_chrome_trace_file(out, log.events)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 2;
+    }
+    std::printf("chrome trace: %zu events -> %s (open in ui.perfetto.dev "
+                "or chrome://tracing)\n",
+                log.events.size(), out.c_str());
   }
 
   // ---- online-monitor replay ---------------------------------------------
