@@ -20,7 +20,6 @@ static_assert(static_cast<std::uint8_t>(Phase::kDecided) ==
 void ColoringNode::on_wake(radio::SlotContext& ctx) {
   URN_CHECK(params_ != nullptr);
   URN_CHECK(id_ == ctx.id);
-  last_slot_ = ctx.now;
   enter_verify(0, ctx);  // upon waking up, a node is initially in A_0
 }
 
@@ -28,12 +27,12 @@ void ColoringNode::enter_verify(std::int32_t color_index,
                                 const radio::SlotContext& ctx) {
   phase_ = Phase::kVerify;
   color_index_ = color_index;
-  passive_remaining_ = params_->passive_slots();
+  passive_remaining_ = passive_slots_;
   active_ = false;
   counter_ = 0;
   competitors_.clear();  // P_v := ∅ (Alg. 1 l. 1)
   ++stats_.verify_states;
-  record_transition(last_slot_, ctx);
+  record_transition(ctx.now, ctx);
 }
 
 void ColoringNode::enter_decided(std::int32_t color_index,
@@ -46,7 +45,7 @@ void ColoringNode::enter_decided(std::int32_t color_index,
     queue_.clear();
     serve_remaining_ = 0;
   }
-  record_transition(last_slot_, ctx);
+  record_transition(ctx.now, ctx);
 }
 
 void ColoringNode::record_transition(Slot slot,
@@ -56,91 +55,15 @@ void ColoringNode::record_transition(Slot slot,
         slot, id_, static_cast<std::uint8_t>(phase_), color_index_));
   }
   if (transitions_.size() >= kMaxTransitions) return;
+  // A well-behaved run needs ≤ κ₂ + 3 entries; one up-front reservation
+  // avoids the doubling reallocations on every node's log.
+  if (transitions_.empty()) transitions_.reserve(8);
   transitions_.push_back({slot, phase_, color_index_});
 }
 
-std::optional<radio::Message> ColoringNode::on_slot(radio::SlotContext& ctx) {
-  last_slot_ = ctx.now;
-  switch (phase_) {
-    case Phase::kVerify: {
-      if (!active_) {
-        // Passive listening phase (Alg. 1 l. 4–14): d_v(w) copies age
-        // implicitly; no transmissions.
-        if (passive_remaining_ > 0) {
-          --passive_remaining_;
-          return std::nullopt;
-        }
-        // c_v := χ(P_v) (Alg. 1 l. 15), then become active.  The naive /
-        // no-reset ablations skip χ and start from 0.
-        counter_ = (params_->reset_policy == ResetPolicy::kCriticalRange)
-                       ? chi_of_competitors(ctx.now)
-                       : 0;
-        active_ = true;
-      }
-      ++counter_;  // Alg. 1 l. 17
-      if (counter_ >= params_->threshold()) {
-        // Alg. 1 l. 19–20: decide color i and start Algorithm 3 at once.
-        enter_decided(color_index_, ctx);
-        return on_slot(ctx);
-      }
-      if (ctx.random().chance(params_->p_active())) {
-        return radio::make_compete(id_, color_index_, counter_);
-      }
-      return std::nullopt;
-    }
-
-    case Phase::kRequest: {
-      // Alg. 2 l. 2: transmit M_R(v, L(v)) with probability 1/(κ₂Δ).
-      if (ctx.random().chance(params_->p_active())) {
-        return radio::make_request(id_, leader_);
-      }
-      return std::nullopt;
-    }
-
-    case Phase::kDecided: {
-      if (color_index_ == 0) return leader_slot(ctx);
-      // Alg. 3 l. 4: non-leader C_i keeps announcing its color.
-      if (ctx.random().chance(params_->p_active())) {
-        return radio::make_decided(id_, color_index_);
-      }
-      return std::nullopt;
-    }
-  }
-  return std::nullopt;
-}
-
-std::optional<radio::Message> ColoringNode::leader_slot(
-    radio::SlotContext& ctx) {
-  // Start serving the next request if idle (Alg. 3 l. 15–17).
-  if (serve_remaining_ == 0 && !queue_.empty()) {
-    serve_tc_ = ++next_tc_;
-    serve_remaining_ = params_->assign_window();
-  }
-  if (serve_remaining_ > 0) {
-    const NodeId target = queue_.front();
-    --serve_remaining_;
-    const bool transmit = ctx.random().chance(params_->p_leader());
-    if (serve_remaining_ == 0) {
-      // Window exhausted: remove w from Q (Alg. 3 l. 21).
-      served_.push_back(target);
-      queue_.pop_front();
-      if (ctx.tracing()) {
-        ctx.emit(obs::Event::serve(ctx.now, id_, target, serve_tc_));
-      }
-    }
-    if (transmit) return radio::make_assign(id_, target, serve_tc_);
-    return std::nullopt;
-  }
-  // Idle beacon (Alg. 3 l. 13–14).
-  if (ctx.random().chance(params_->p_leader())) {
-    return radio::make_decided(id_, 0);
-  }
-  return std::nullopt;
-}
 
 void ColoringNode::on_receive(radio::SlotContext& ctx,
                               const radio::Message& msg) {
-  last_slot_ = ctx.now;
   switch (phase_) {
     case Phase::kVerify: {
       // A message from a node in C_i covering us (Alg. 1 l. 10/23)?
@@ -165,8 +88,7 @@ void ColoringNode::on_receive(radio::SlotContext& ctx,
           case ResetPolicy::kCriticalRange: {
             store_competitor(msg.sender, msg.counter, ctx.now);
             if (active_) {
-              const std::int64_t range =
-                  params_->critical_range(color_index_);
+              const std::int64_t range = critical_range_now();
               if (std::llabs(counter_ - msg.counter) <= range) {
                 counter_ = chi_of_competitors(ctx.now);  // Alg. 1 l. 29
                 ++stats_.resets;
@@ -212,9 +134,7 @@ void ColoringNode::on_receive(radio::SlotContext& ctx,
       // Leader: enqueue new requests addressed to us (Alg. 3 l. 10–12).
       if (msg.type != radio::MsgType::kRequest || msg.target != id_) return;
       const NodeId requester = msg.sender;
-      if (std::find(queue_.begin(), queue_.end(), requester) != queue_.end()) {
-        return;  // already queued
-      }
+      if (queue_.contains(requester)) return;  // already queued
       const bool was_served =
           std::find(served_.begin(), served_.end(), requester) !=
           served_.end();
@@ -244,7 +164,7 @@ std::int64_t ColoringNode::chi_of_competitors(Slot now) const {
   std::vector<std::int64_t> aged;
   aged.reserve(competitors_.size());
   for (const Competitor& c : competitors_) aged.push_back(c.aged(now));
-  return chi(aged, params_->critical_range(color_index_));
+  return chi(aged, critical_range_now());
 }
 
 }  // namespace urn::core

@@ -31,7 +31,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -39,6 +38,7 @@
 #include "graph/coloring.hpp"
 #include "radio/engine.hpp"
 #include "radio/message.hpp"
+#include "support/containers.hpp"
 
 namespace urn::core {
 
@@ -79,7 +79,22 @@ class ColoringNode {
 
   /// \param params shared parameter set (must outlive the node)
   /// \param id this node's identifier
-  ColoringNode(const Params* params, NodeId id) : params_(params), id_(id) {}
+  ///
+  /// Params-derived quantities used every slot (threshold, sending
+  /// probabilities, passive length, critical ranges) are computed once
+  /// here: `Params` is immutable for the lifetime of a run, and e.g.
+  /// `threshold()` hides a `std::log` that would otherwise run per
+  /// node-slot on the hot path.
+  ColoringNode(const Params* params, NodeId id)
+      : id_(id),
+        threshold_(params->threshold()),
+        p_active_(params->p_active()),
+        p_leader_(params->p_leader()),
+        params_(params),
+        passive_slots_(params->passive_slots()),
+        assign_window_(params->assign_window()),
+        critical_range0_(params->critical_range(0)),
+        critical_rangeN_(params->critical_range(1)) {}
 
   // --- radio::NodeProtocol interface -------------------------------------
 
@@ -136,30 +151,133 @@ class ColoringNode {
   [[nodiscard]] std::int64_t chi_of_competitors(Slot now) const;
   std::optional<radio::Message> leader_slot(radio::SlotContext& ctx);
 
-  const Params* params_ = nullptr;
-  NodeId id_ = graph::kInvalidNode;
+  /// ⌈γζ_i log n⌉ for the current color index, from the cached pair.
+  [[nodiscard]] std::int64_t critical_range_now() const {
+    return color_index_ == 0 ? critical_range0_ : critical_rangeN_;
+  }
 
+  // Hot fields first: everything `on_slot` touches in its non-transmitting
+  // fast paths (a decided node reads phase_/color_index_/p_active_; an
+  // active verifier additionally counter_/threshold_) sits in the first
+  // 64 bytes, so the engine's per-slot sweep over all nodes streams one
+  // cache line per node instead of scattering across the object.
   Phase phase_ = Phase::kVerify;
-  std::int32_t color_index_ = 0;  ///< i of the current A_i / C_i
-  std::int64_t passive_remaining_ = 0;
   bool active_ = false;
-  std::int64_t counter_ = 0;  ///< c_v
-  std::vector<Competitor> competitors_;  ///< P_v with stored d_v(w)
+  NodeId id_ = graph::kInvalidNode;
+  std::int32_t color_index_ = 0;  ///< i of the current A_i / C_i
+  std::int32_t tc_ = -1;          ///< intra-cluster color
+  std::int64_t counter_ = 0;      ///< c_v
+  std::int64_t passive_remaining_ = 0;
+  std::int64_t threshold_ = 0;    ///< cached ⌈σΔ log n⌉
+  double p_active_ = 0.0;         ///< cached 1/(κ₂Δ)
+  double p_leader_ = 0.0;         ///< cached 1/κ₂
+
+  // Cached Params-derived constants for colder paths.
+  const Params* params_ = nullptr;
+  std::int64_t passive_slots_ = 0;
+  std::int64_t assign_window_ = 0;
+  std::int64_t critical_range0_ = 0;  ///< ζ = 1 (color index 0)
+  std::int64_t critical_rangeN_ = 0;  ///< ζ = Δ (color index > 0)
+
+  SmallVec<Competitor, 8> competitors_;  ///< P_v with stored d_v(w)
 
   NodeId leader_ = graph::kInvalidNode;  ///< L(v)
-  std::int32_t tc_ = -1;                 ///< intra-cluster color
 
   // Leader (C₀) service state (Algorithm 3).
-  std::deque<NodeId> queue_;             ///< FIFO request queue Q
+  RingQueue<NodeId> queue_;              ///< FIFO request queue Q
   std::vector<NodeId> served_;           ///< requesters already served
   std::int32_t next_tc_ = 0;             ///< running intra-cluster color
   std::int64_t serve_remaining_ = 0;     ///< slots left in current window
   std::int32_t serve_tc_ = 0;
 
   NodeStats stats_;
-  Slot last_slot_ = 0;  ///< slot of the most recent callback (for tracing)
   std::vector<Transition> transitions_;
 };
+
+// ---- hot-path definitions -------------------------------------------------
+// `on_slot` (and the leader service slot it dispatches to) runs once per
+// node per slot inside the engine's fully-inlined loop; defining it here
+// lets the engine template inline it instead of paying an out-of-line
+// call (and a by-value std::optional<Message> return) per node-slot.
+
+inline std::optional<radio::Message> ColoringNode::on_slot(
+    radio::SlotContext& ctx) {
+  switch (phase_) {
+    case Phase::kVerify: {
+      if (!active_) {
+        // Passive listening phase (Alg. 1 l. 4–14): d_v(w) copies age
+        // implicitly; no transmissions.
+        if (passive_remaining_ > 0) {
+          --passive_remaining_;
+          return std::nullopt;
+        }
+        // c_v := χ(P_v) (Alg. 1 l. 15), then become active.  The naive /
+        // no-reset ablations skip χ and start from 0.
+        counter_ = (params_->reset_policy == ResetPolicy::kCriticalRange)
+                       ? chi_of_competitors(ctx.now)
+                       : 0;
+        active_ = true;
+      }
+      ++counter_;  // Alg. 1 l. 17
+      if (counter_ >= threshold_) {
+        // Alg. 1 l. 19–20: decide color i and start Algorithm 3 at once.
+        enter_decided(color_index_, ctx);
+        return on_slot(ctx);
+      }
+      if (ctx.random().chance(p_active_)) {
+        return radio::make_compete(id_, color_index_, counter_);
+      }
+      return std::nullopt;
+    }
+
+    case Phase::kRequest: {
+      // Alg. 2 l. 2: transmit M_R(v, L(v)) with probability 1/(κ₂Δ).
+      if (ctx.random().chance(p_active_)) {
+        return radio::make_request(id_, leader_);
+      }
+      return std::nullopt;
+    }
+
+    case Phase::kDecided: {
+      if (color_index_ == 0) return leader_slot(ctx);
+      // Alg. 3 l. 4: non-leader C_i keeps announcing its color.
+      if (ctx.random().chance(p_active_)) {
+        return radio::make_decided(id_, color_index_);
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+inline std::optional<radio::Message> ColoringNode::leader_slot(
+    radio::SlotContext& ctx) {
+  // Start serving the next request if idle (Alg. 3 l. 15–17).
+  if (serve_remaining_ == 0 && !queue_.empty()) {
+    serve_tc_ = ++next_tc_;
+    serve_remaining_ = assign_window_;
+  }
+  if (serve_remaining_ > 0) {
+    const NodeId target = queue_.front();
+    --serve_remaining_;
+    const bool transmit = ctx.random().chance(p_leader_);
+    if (serve_remaining_ == 0) {
+      // Window exhausted: remove w from Q (Alg. 3 l. 21).
+      served_.push_back(target);
+      queue_.pop_front();
+      if (ctx.tracing()) {
+        ctx.emit(obs::Event::serve(ctx.now, id_, target, serve_tc_));
+      }
+    }
+    if (transmit) return radio::make_assign(id_, target, serve_tc_);
+    return std::nullopt;
+  }
+  // Idle beacon (Alg. 3 l. 13–14).
+  if (ctx.random().chance(p_leader_)) {
+    return radio::make_decided(id_, 0);
+  }
+  return std::nullopt;
+}
 
 static_assert(radio::NodeProtocol<ColoringNode>);
 

@@ -153,9 +153,7 @@ LeaderElectionResult leader_election_impl(const graph::Graph& g,
       }
     }
   }
-  if constexpr (S::kEnabled) {
-    if (sink != nullptr) sink->flush();
-  }
+  engine.flush();  // step()-driven loop: run()'s automatic flush never fires
   result.all_covered = uncovered == 0;
   result.medium = engine.stats();
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -186,6 +184,16 @@ struct TraceSinks {
   std::optional<Inner> inner;
   std::optional<Mid> mid;
   std::optional<Tee> tee;
+
+  /// Destructor-path flush: a traced runner that exits early (slot-budget
+  /// exhaustion mid-harvest, an exception from a protocol callback) must
+  /// not leave buffered tail events unwritten.  `finish_into` flushes the
+  /// same sinks first on the normal path, so this is an idempotent no-op
+  /// there.
+  ~TraceSinks() {
+    if (jsonl) jsonl->flush();
+    if (bin) bin->flush();
+  }
 
   TraceSinks(const graph::Graph& g, const Params& params,
              const radio::WakeSchedule& schedule, const TraceOptions& trace)

@@ -107,18 +107,23 @@ BenchDoc read_bench_json_file(const std::string& path) {
   return parse_bench_json(text);
 }
 
+namespace {
+
+[[nodiscard]] bool matches_any(const std::string& key,
+                               const std::vector<std::string>& subs) {
+  for (const std::string& sub : subs) {
+    if (!sub.empty() && key.find(sub) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 DiffReport diff_bench(const BenchDoc& baseline, const BenchDoc& fresh,
                       const DiffOptions& options) {
   DiffReport report;
   for (const BenchEntry& base : baseline.entries) {
-    bool skip = false;
-    for (const std::string& sub : options.skip_substrings) {
-      if (!sub.empty() && base.key.find(sub) != std::string::npos) {
-        skip = true;
-        break;
-      }
-    }
-    if (skip) {
+    if (matches_any(base.key, options.skip_substrings)) {
       ++report.skipped;
       continue;
     }
@@ -128,6 +133,24 @@ DiffReport diff_bench(const BenchDoc& baseline, const BenchDoc& fresh,
       report.regressions.push_back(
           {base.key, "missing from the fresh run (baseline " + base.raw +
                          ")"});
+      continue;
+    }
+    if (matches_any(base.key, options.rate_substrings)) {
+      // Rate class: machine-dependent throughput.  Exact comparison is
+      // meaningless; require a numeric value, and (optionally) no drop
+      // beyond the one-sided tolerance.  Faster is never a regression.
+      if (!got->numeric) {
+        report.regressions.push_back(
+            {base.key, "rate metric is not numeric: fresh " + got->raw});
+      } else if (options.rate_rel_tol > 0.0 && base.numeric &&
+                 got->value < base.value * (1.0 - options.rate_rel_tol)) {
+        report.regressions.push_back(
+            {base.key,
+             "rate dropped: baseline " + base.raw + ", fresh " + got->raw +
+                 " (allowed floor " +
+                 std::to_string(base.value * (1.0 - options.rate_rel_tol)) +
+                 ")"});
+      }
       continue;
     }
     if (base.numeric && got->numeric) {

@@ -13,7 +13,11 @@
 /// Keys containing any `skip_substrings` entry are excluded.  The default
 /// covers ".ns" (wall-clock profile counters — the only nondeterministic
 /// fields in a fixed-seed run) and "jobs" (the worker-thread count, an
-/// environment fact that never affects the measured statistics).
+/// environment fact that never affects the measured statistics).  Keys
+/// containing a `rate_substrings` entry (default ".noderate.", the
+/// whole-run throughput family) form a third class between "exact" and
+/// "skipped": present-and-numeric is required, and an optional one-sided
+/// `rate_rel_tol` flags throughput drops beyond the tolerance.
 ///
 /// This is the library half of the `urn_bench_diff` CLI and the
 /// `bench_regression` CTest gate.
@@ -54,6 +58,15 @@ struct DiffOptions {
   double abs_tol = 0.0;  ///< allowed absolute drift
   /// Keys containing any of these substrings are not compared.
   std::vector<std::string> skip_substrings = {".ns", "jobs"};
+  /// Keys containing any of these substrings are *rates* (throughput
+  /// measurements such as node-slots/s): legitimately machine- and
+  /// load-dependent, so exact comparison is meaningless, but silently
+  /// losing one — or regressing it — is not.  A rate key must exist in
+  /// the fresh run and be numeric; with `rate_rel_tol > 0` the fresh
+  /// value must additionally not fall below `baseline·(1 − rate_rel_tol)`
+  /// (one-sided: a faster run is never a regression).
+  std::vector<std::string> rate_substrings = {".noderate."};
+  double rate_rel_tol = 0.0;  ///< 0: presence + numeric check only
 };
 
 /// One detected regression.

@@ -136,11 +136,12 @@ class Engine {
         medium_(medium),
         medium_rng_(mix_seed(seed, 0xFADEDull)),
         sink_(sink),
-        awake_(g.num_nodes(), false),
-        dead_(g.num_nodes(), false),
+        status_(g.num_nodes(), 0),
         decision_slot_(g.num_nodes(), kUndecided),
+        pending_live_(g.num_nodes()),
         tx_count_(g.num_nodes(), 0),
-        tx_stamp_(g.num_nodes(), -1) {
+        tx_stamp_(g.num_nodes(), -1),
+        tx_src_(g.num_nodes(), 0) {
     URN_CHECK(medium_.drop_probability >= 0.0 &&
               medium_.drop_probability < 1.0);
     URN_CHECK(nodes_.size() == graph_.num_nodes());
@@ -149,12 +150,19 @@ class Engine {
     for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
       rngs_.emplace_back(mix_seed(seed, v));
     }
-    // Wake order: nodes sorted by wake slot for an O(1) amortized wake scan.
+    // Wake order: nodes sorted by (wake slot, id) for an O(1) amortized
+    // wake scan.  The id tie-break makes the order — and with it the
+    // per-slot transmitter order, which fixes the medium-RNG draw
+    // sequence under drop_probability > 0 — a specification the
+    // reference engine can reproduce, not an artifact of the sort
+    // implementation.
     wake_order_.resize(graph_.num_nodes());
     for (NodeId v = 0; v < graph_.num_nodes(); ++v) wake_order_[v] = v;
     std::sort(wake_order_.begin(), wake_order_.end(),
               [this](NodeId a, NodeId b) {
-                return schedule_.wake_slot(a) < schedule_.wake_slot(b);
+                const Slot wa = schedule_.wake_slot(a);
+                const Slot wb = schedule_.wake_slot(b);
+                return wa != wb ? wa < wb : a < b;
               });
   }
 
@@ -173,22 +181,41 @@ class Engine {
     const Slot now = slot_;
     const std::uint64_t ts_wake = span_now();
 
-    // (1) Wake due nodes.
+    // (1) Wake due nodes.  A node deactivated before its wake slot still
+    // wakes (events + on_wake fire, matching the pre-compaction engine)
+    // but never enters the live lists.
     while (next_wake_ < wake_order_.size() &&
            schedule_.wake_slot(wake_order_[next_wake_]) <= now) {
       const NodeId v = wake_order_[next_wake_++];
-      awake_[v] = true;
-      awake_list_.push_back(v);
+      status_[v] |= kAwakeBit;
+      if (status_[v] == kAwakeBit) {
+        awake_list_.push_back(v);
+        undecided_list_.push_back(v);
+      }
       emit([&] { return obs::Event::wake(now, v); });
       SlotContext ctx = context(v, now);
       nodes_[v].on_wake(ctx);
     }
+    if (!id_ordered_ && next_wake_ >= wake_order_.size()) {
+      // From the slot the last node wakes (inclusive), iterate nodes in
+      // ascending id: under random schedules wake order is an arbitrary
+      // permutation, and re-sorting once turns every later per-slot
+      // sweep into a linear memory walk over nodes_/rngs_.  This is part
+      // of the engine's documented iteration order — (wake slot, id)
+      // while nodes are still waking, id-ascending once all are awake —
+      // which the reference engine mirrors (it pins the medium-RNG draw
+      // sequence under drop_probability > 0; aggregate stats and
+      // per-node RNG streams are order-independent).
+      std::sort(awake_list_.begin(), awake_list_.end());
+      std::sort(undecided_list_.begin(), undecided_list_.end());
+      id_ordered_ = true;
+    }
 
-    // (2) Collect transmissions.
+    // (2) Collect transmissions.  awake_list_ holds only live awake
+    // nodes (deactivate compacts), so no per-node dead check remains.
     const std::uint64_t ts_protocol = span_now();
     transmitters_.clear();
     for (NodeId v : awake_list_) {
-      if (dead_[v]) continue;
       SlotContext ctx = context(v, now);
       if (std::optional<Message> msg = nodes_[v].on_slot(ctx)) {
         URN_DCHECK(msg->sender == v);
@@ -202,67 +229,80 @@ class Engine {
     }
     stats_.transmissions += transmitters_.size();
 
-    // (3) Resolve the medium: count transmitting neighbors per node.
+    // (3) Resolve the medium in ONE pass: count transmitting neighbors
+    // per listener and collect the touched live listeners, deduplicated,
+    // in first-touch order.  First-touch order here equals the first-
+    // visit order of the old second transmitter×neighbor pass (both walk
+    // the same nested sequence), so delivery / collision / drop events
+    // and medium-RNG draws keep the exact same order — bit-identical
+    // results, half the edge traversals.  Sleeping and dead neighbors
+    // are skipped outright: their counts can never be read.
     const std::uint64_t ts_medium = span_now();
-    for (const Message& msg : transmitters_) {
-      const NodeId sender = msg.sender;
+    touched_.clear();
+    for (std::uint32_t t = 0; t < transmitters_.size(); ++t) {
+      const NodeId sender = transmitters_[t].sender;
       for (NodeId u : graph_.neighbors(sender)) {
+        if (status_[u] != kAwakeBit) continue;  // sleeping or dead
         if (tx_stamp_[u] != now) {
           tx_stamp_[u] = now;
-          tx_count_[u] = 0;
+          tx_count_[u] = 1;
+          tx_src_[u] = t;  // sole candidate sender so far
+          touched_.push_back(u);
+        } else {
+          ++tx_count_[u];
         }
-        ++tx_count_[u];
       }
       // A transmitting node cannot receive in the same slot.
-      if (tx_stamp_[sender] != now) {
-        tx_stamp_[sender] = now;
-        tx_count_[sender] = 0;
-      }
+      tx_stamp_[sender] = now;
       tx_count_[sender] = kSelfBusy;
     }
 
-    // (4) Deliver to listening awake nodes with exactly one active neighbor.
-    for (const Message& msg : transmitters_) {
-      for (NodeId u : graph_.neighbors(msg.sender)) {
-        if (!awake_[u] || dead_[u] || tx_stamp_[u] != now) continue;
-        if (tx_count_[u] == 1) {
-          if (medium_.drop_probability > 0.0 &&
-              medium_rng_.chance(medium_.drop_probability)) {
-            ++stats_.dropped;  // fading: clean reception lost anyway
-            emit([&] {
-              return obs::Event::drop(now, u, msg.sender,
-                                      static_cast<std::uint8_t>(msg.type));
-            });
-          } else {
-            ++stats_.deliveries;
-            emit([&] {
-              return obs::Event::delivery(
-                  now, u, msg.sender, static_cast<std::uint8_t>(msg.type),
-                  msg.color_index);
-            });
-            SlotContext ctx = context(u, now);
-            nodes_[u].on_receive(ctx, msg);
-          }
-          tx_count_[u] = kDelivered;  // at most one delivery per slot
-        } else if (tx_count_[u] >= 2 && tx_count_[u] < kDelivered) {
-          ++stats_.collisions;
-          emit([&] { return obs::Event::collision(now, u); });
-          tx_count_[u] = kDelivered;  // count the collision once
+    // (4) Deliver to listeners with exactly one active neighbor.  Each
+    // touched listener appears once; counts are final by now.
+    for (const NodeId u : touched_) {
+      const std::uint32_t c = tx_count_[u];
+      if (c == 1) {
+        const Message& msg = transmitters_[tx_src_[u]];
+        if (medium_.drop_probability > 0.0 &&
+            medium_rng_.chance(medium_.drop_probability)) {
+          ++stats_.dropped;  // fading: clean reception lost anyway
+          emit([&] {
+            return obs::Event::drop(now, u, msg.sender,
+                                    static_cast<std::uint8_t>(msg.type));
+          });
+        } else {
+          ++stats_.deliveries;
+          emit([&] {
+            return obs::Event::delivery(now, u, msg.sender,
+                                        static_cast<std::uint8_t>(msg.type),
+                                        msg.color_index);
+          });
+          SlotContext ctx = context(u, now);
+          nodes_[u].on_receive(ctx, msg);
         }
+      } else if (c < kSelfBusy) {  // c >= 2 and u is not a sender
+        ++stats_.collisions;
+        emit([&] { return obs::Event::collision(now, u); });
       }
     }
 
-    // (5) Track decisions.
-    for (NodeId v : awake_list_) {
-      if (!dead_[v] && decision_slot_[v] == kUndecided &&
-          nodes_[v].decided()) {
+    // (5) Track decisions, compacting decided nodes out of the scan so
+    // its cost follows the number of still-undecided nodes, not n.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < undecided_list_.size(); ++i) {
+      const NodeId v = undecided_list_[i];
+      if (nodes_[v].decided()) {
         decision_slot_[v] = now;
+        --pending_live_;
         emit([&] {
           return obs::Event::decision(now, v, /*color=*/-1,
                                       now - schedule_.wake_slot(v));
         });
+      } else {
+        undecided_list_[keep++] = v;
       }
     }
+    undecided_list_.resize(keep);
 
     span_emit("wake", ts_wake, ts_protocol, now);
     span_emit("protocol", ts_protocol, ts_medium, now);
@@ -274,36 +314,66 @@ class Engine {
 
   /// Run until every node is awake and has decided, or `max_slots` elapse.
   /// Returns the statistics so far; `all_decided` reports success.
+  ///
+  /// Empty wake gaps are fast-forwarded: while no node is awake and the
+  /// next wake lies in the future, stepping consumes no RNG and changes
+  /// no state, so `slot_` jumps straight to the next wake (or the cap).
+  /// The jump requires a pending wake — it cannot fire when the list is
+  /// empty because every woken node died, where the old loop would stop
+  /// after one more step via `all_decided`.
   RunStats run(Slot max_slots) {
     URN_CHECK(max_slots > 0);
     while (slot_ < max_slots) {
+      if (awake_list_.empty() && next_wake_ < wake_order_.size()) {
+        const Slot next = schedule_.wake_slot(wake_order_[next_wake_]);
+        if (next > slot_) {
+          slot_ = next < max_slots ? next : max_slots;
+          stats_.slots_run = slot_;
+          if (slot_ >= max_slots) break;
+        }
+      }
       step();
       if (all_decided()) break;
     }
     stats_.all_decided = all_decided();
-    if constexpr (S::kEnabled) {
-      if (sink_ != nullptr) sink_->flush();
-    }
+    flush();
     return stats_;
   }
 
+  /// O(1): every node woke, and no live node is still undecided.
   [[nodiscard]] bool all_decided() const {
-    if (next_wake_ < wake_order_.size()) return false;
-    for (NodeId v = 0; v < nodes_.size(); ++v) {
-      if (!dead_[v] && decision_slot_[v] == kUndecided) return false;
+    return next_wake_ >= wake_order_.size() && pending_live_ == 0;
+  }
+
+  /// Flush the attached event sink, if any (`run()` does this on exit;
+  /// step()-driven users call it once capture is complete).  Compiled
+  /// away for NullSink.
+  void flush() {
+    if constexpr (S::kEnabled) {
+      if (sink_ != nullptr) sink_->flush();
     }
-    return true;
   }
 
   /// Crash-stop failure injection: from the next slot on, node v neither
   /// transmits nor receives.  It is excluded from `all_decided` (a dead
-  /// node has no obligation to decide).
+  /// node has no obligation to decide) and compacted out of the live
+  /// lists so later slots never branch on it.  Idempotent: deactivating
+  /// an already-dead node changes no accounting.
   void deactivate(NodeId v) {
     URN_CHECK(v < nodes_.size());
-    dead_[v] = true;
+    if ((status_[v] & kDeadBit) != 0) return;
+    status_[v] |= kDeadBit;
+    if (decision_slot_[v] == kUndecided) --pending_live_;
+    if ((status_[v] & kAwakeBit) != 0) {
+      std::erase(awake_list_, v);
+      std::erase(undecided_list_, v);
+    }
   }
 
-  [[nodiscard]] bool is_dead(NodeId v) const { return dead_.at(v); }
+  [[nodiscard]] bool is_dead(NodeId v) const {
+    URN_CHECK(v < status_.size());
+    return (status_[v] & kDeadBit) != 0;
+  }
 
   [[nodiscard]] Slot current_slot() const { return slot_; }
   [[nodiscard]] const RunStats& stats() const { return stats_; }
@@ -326,8 +396,15 @@ class Engine {
   static constexpr Slot kUndecided = -1;
 
  private:
+  // Per-node status bits (one byte per node; vector<bool> bit ops were a
+  // measurable hot-path cost, and one byte encodes both flags so the
+  // common "live awake listener?" test is a single compare with 0x1).
+  static constexpr std::uint8_t kAwakeBit = 0x1;
+  static constexpr std::uint8_t kDeadBit = 0x2;
+
+  /// Marks a transmitter's own tx_count_: senders never receive, and any
+  /// later increments keep the value far above every real count.
   static constexpr std::uint32_t kSelfBusy = 0x40000000;
-  static constexpr std::uint32_t kDelivered = 0x20000000;
 
   /// Emit an event built by `make` — compiled away entirely for NullSink
   /// (the lambda is never instantiated, so event construction costs
@@ -384,17 +461,23 @@ class Engine {
   std::vector<Rng> rngs_;
 
   Slot slot_ = 0;
-  std::vector<bool> awake_;
-  std::vector<bool> dead_;
-  std::vector<NodeId> awake_list_;
+  std::vector<std::uint8_t> status_;     ///< kAwakeBit | kDeadBit per node
+  std::vector<NodeId> awake_list_;       ///< live awake nodes, wake order
+  std::vector<NodeId> undecided_list_;   ///< live awake undecided subset
   std::vector<NodeId> wake_order_;
   std::size_t next_wake_ = 0;
+  bool id_ordered_ = false;  ///< live lists re-sorted to id order yet?
   std::vector<Slot> decision_slot_;
+  /// Live (non-dead) nodes without a recorded decision — the O(1)
+  /// termination counter behind `all_decided()`.
+  std::size_t pending_live_ = 0;
 
   // Per-slot scratch (epoch-stamped; never cleared wholesale).
   std::vector<std::uint32_t> tx_count_;
   std::vector<Slot> tx_stamp_;
+  std::vector<std::uint32_t> tx_src_;  ///< index into transmitters_ (count 1)
   std::vector<Message> transmitters_;
+  std::vector<NodeId> touched_;  ///< live listeners touched this slot
 
   RunStats stats_;
 };

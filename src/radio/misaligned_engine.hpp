@@ -22,6 +22,12 @@
 /// Protocols are reused unchanged: callbacks fire once per *local* slot,
 /// and all times a protocol sees (ctx.now, decision slots, latencies) are
 /// in local slots, directly comparable to radio::Engine's slot counts.
+///
+/// Hot-path structure mirrors radio::Engine's: per-parity wake-sorted
+/// participation lists replace the O(n) per-half node scan, neighbor
+/// counts are epoch-stamped with the half index instead of cleared
+/// wholesale, termination is an O(1) counter pair, and `run()`
+/// fast-forwards across halves in which no node participates.
 
 #pragma once
 
@@ -51,11 +57,14 @@ class MisalignedEngine {
         nodes_(std::move(nodes)),
         offsets_(std::move(offsets)),
         sink_(sink),
-        awake_(g.num_nodes(), false),
+        awake_(g.num_nodes(), 0),
         decision_slot_(g.num_nodes(), kUndecided),
+        undecided_(g.num_nodes()),
         tx_until_half_(g.num_nodes(), -1),
         nbr_count_{std::vector<std::uint32_t>(g.num_nodes(), 0),
-                   std::vector<std::uint32_t>(g.num_nodes(), 0)} {
+                   std::vector<std::uint32_t>(g.num_nodes(), 0)},
+        nbr_stamp_{std::vector<std::int64_t>(g.num_nodes(), -1),
+                   std::vector<std::int64_t>(g.num_nodes(), -1)} {
     URN_CHECK(nodes_.size() == graph_.num_nodes());
     URN_CHECK(schedule_.size() == graph_.num_nodes());
     URN_CHECK(offsets_.size() == graph_.num_nodes());
@@ -63,6 +72,20 @@ class MisalignedEngine {
     rngs_.reserve(graph_.num_nodes());
     for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
       rngs_.emplace_back(mix_seed(seed, v));
+    }
+    // Per-parity wake order, sorted by (wake slot, id): each half scans
+    // only the nodes that participate in it, admitting new wakers in
+    // O(1) amortized — the old engine re-scanned all n nodes per half.
+    for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      wake_order_[offsets_[v]].push_back(v);
+    }
+    for (auto& order : wake_order_) {
+      std::sort(order.begin(), order.end(),
+                [this](graph::NodeId a, graph::NodeId b) {
+                  const Slot wa = schedule_.wake_slot(a);
+                  const Slot wb = schedule_.wake_slot(b);
+                  return wa != wb ? wa < wb : a < b;
+                });
     }
   }
 
@@ -78,46 +101,57 @@ class MisalignedEngine {
   void step_half() {
     const std::int64_t h = half_;
     const std::size_t parity = static_cast<std::size_t>(h & 1);
-    std::fill(nbr_count_[parity].begin(), nbr_count_[parity].end(), 0u);
 
     // (1) Nodes whose local slot starts at this half run their protocol.
-    started_now_.clear();
-    for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
-      if ((h - offsets_[v]) < 0 || ((h - offsets_[v]) & 1) != 0) continue;
-      const Slot local = (h - offsets_[v]) / 2;
-      if (local < schedule_.wake_slot(v)) continue;
-      if (!awake_[v]) {
-        awake_[v] = true;
+    // All parity-p nodes share the same local slot at half h: (h - p)/2.
+    if (h >= static_cast<std::int64_t>(parity)) {
+      const Slot local = (h - static_cast<std::int64_t>(parity)) / 2;
+      auto& order = wake_order_[parity];
+      std::size_t& admit = next_wake_[parity];
+      while (admit < order.size() &&
+             schedule_.wake_slot(order[admit]) <= local) {
+        const graph::NodeId v = order[admit++];
+        awake_[v] = 1;
+        ++woken_;
         emit([&] { return obs::Event::wake(local, v); });
+        SlotContext wake_ctx = context(v, local);
+        nodes_[v].on_wake(wake_ctx);
+        awake_list_[parity].push_back(v);
+      }
+      for (graph::NodeId v : awake_list_[parity]) {
         SlotContext ctx = context(v, local);
-        nodes_[v].on_wake(ctx);
-      }
-      SlotContext ctx = context(v, local);
-      if (std::optional<Message> msg = nodes_[v].on_slot(ctx)) {
-        URN_DCHECK(msg->sender == v);
-        ++stats_.transmissions;
-        emit([&] {
-          return obs::Event::transmit(local, v,
-                                      static_cast<std::uint8_t>(msg->type),
-                                      msg->color_index, msg->counter);
-        });
-        tx_until_half_[v] = h + 1;  // occupies halves h and h+1
-        active_.push_back({*msg, h});
-        started_now_.push_back(v);
-      }
-      if (decision_slot_[v] == kUndecided && nodes_[v].decided()) {
-        decision_slot_[v] = local;
-        emit([&] {
-          return obs::Event::decision(local, v, /*color=*/-1,
-                                      local - schedule_.wake_slot(v));
-        });
+        if (std::optional<Message> msg = nodes_[v].on_slot(ctx)) {
+          URN_DCHECK(msg->sender == v);
+          ++stats_.transmissions;
+          emit([&] {
+            return obs::Event::transmit(local, v,
+                                        static_cast<std::uint8_t>(msg->type),
+                                        msg->color_index, msg->counter);
+          });
+          tx_until_half_[v] = h + 1;  // occupies halves h and h+1
+          active_.push_back({*msg, h});
+        }
+        if (decision_slot_[v] == kUndecided && nodes_[v].decided()) {
+          decision_slot_[v] = local;
+          --undecided_;
+          emit([&] {
+            return obs::Event::decision(local, v, /*color=*/-1,
+                                        local - schedule_.wake_slot(v));
+          });
+        }
       }
     }
 
-    // (2) Account every ongoing transmission in this half's counts.
+    // (2) Account every ongoing transmission in this half's counts
+    // (epoch-stamped with the half index; never cleared wholesale).
     for (const auto& tx : active_) {
       for (graph::NodeId u : graph_.neighbors(tx.msg.sender)) {
-        ++nbr_count_[parity][u];
+        if (nbr_stamp_[parity][u] != h) {
+          nbr_stamp_[parity][u] = h;
+          nbr_count_[parity][u] = 1;
+        } else {
+          ++nbr_count_[parity][u];
+        }
       }
     }
 
@@ -130,12 +164,12 @@ class MisalignedEngine {
         continue;
       }
       for (graph::NodeId u : graph_.neighbors(tx.msg.sender)) {
-        if (!awake_[u]) continue;
+        if (awake_[u] == 0) continue;
         // u listening during both halves?
         if (tx_until_half_[u] >= h - 1) continue;
-        const bool clear =
-            nbr_count_[prev][u] == 1 && nbr_count_[parity][u] == 1;
-        if (clear) {
+        const std::uint32_t c_prev = count_at(prev, u, h - 1);
+        const std::uint32_t c_now = count_at(parity, u, h);
+        if (c_prev == 1 && c_now == 1) {
           ++stats_.deliveries;
           const Slot local = (h - offsets_[u]) / 2;
           emit([&] {
@@ -147,12 +181,13 @@ class MisalignedEngine {
           nodes_[u].on_receive(ctx, tx.msg);
           if (decision_slot_[u] == kUndecided && nodes_[u].decided()) {
             decision_slot_[u] = local;
+            --undecided_;
             emit([&] {
               return obs::Event::decision(local, u, /*color=*/-1,
                                           local - schedule_.wake_slot(u));
             });
           }
-        } else if (nbr_count_[prev][u] >= 2 || nbr_count_[parity][u] >= 2) {
+        } else if (c_prev >= 2 || c_now >= 2) {
           ++stats_.collisions;
           emit([&] {
             return obs::Event::collision((h - offsets_[u]) / 2, u);
@@ -168,24 +203,51 @@ class MisalignedEngine {
   }
 
   /// Run until every node is awake and decided, or the local-slot cap.
+  ///
+  /// Halves in which no node participates (before the first wake of a
+  /// sparse schedule) are fast-forwarded: no protocol runs, no counts
+  /// change, so `half_` jumps straight to the earliest upcoming start
+  /// half.  Requires a pending wake, exactly like Engine::run.
   RunStats run(Slot max_local_slots) {
     URN_CHECK(max_local_slots > 0);
-    while (half_ < 2 * max_local_slots + 2) {
+    const std::int64_t half_cap = 2 * max_local_slots + 2;
+    while (half_ < half_cap) {
+      if (awake_list_[0].empty() && awake_list_[1].empty() &&
+          (next_wake_[0] < wake_order_[0].size() ||
+           next_wake_[1] < wake_order_[1].size())) {
+        std::int64_t next = half_cap;
+        for (std::size_t p = 0; p < 2; ++p) {
+          if (next_wake_[p] < wake_order_[p].size()) {
+            const Slot wake =
+                schedule_.wake_slot(wake_order_[p][next_wake_[p]]);
+            next = std::min(next, 2 * wake + static_cast<std::int64_t>(p));
+          }
+        }
+        if (next > half_) {
+          half_ = std::min(next, half_cap);
+          stats_.slots_run = half_ / 2;
+          if (half_ >= half_cap) break;
+        }
+      }
       step_half();
       if (all_decided()) break;
     }
     stats_.all_decided = all_decided();
-    if constexpr (S::kEnabled) {
-      if (sink_ != nullptr) sink_->flush();
-    }
+    flush();
     return stats_;
   }
 
+  /// O(1): every node woke, and none is still undecided.
   [[nodiscard]] bool all_decided() const {
-    for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
-      if (!awake_[v] || decision_slot_[v] == kUndecided) return false;
+    return woken_ == nodes_.size() && undecided_ == 0;
+  }
+
+  /// Flush the attached event sink, if any (`run()` does this on exit;
+  /// step_half()-driven users call it once capture is complete).
+  void flush() {
+    if constexpr (S::kEnabled) {
+      if (sink_ != nullptr) sink_->flush();
     }
-    return true;
   }
 
   [[nodiscard]] const P& node(graph::NodeId v) const { return nodes_.at(v); }
@@ -207,6 +269,13 @@ class MisalignedEngine {
     Message msg;
     std::int64_t start_half;
   };
+
+  /// Neighbor count for parity `par` at the half it was stamped for
+  /// (0 when the entry is stale — nothing transmitted near u then).
+  [[nodiscard]] std::uint32_t count_at(std::size_t par, graph::NodeId u,
+                                       std::int64_t expected_half) const {
+    return nbr_stamp_[par][u] == expected_half ? nbr_count_[par][u] : 0;
+  }
 
   /// Compiled away entirely for NullSink (see Engine::emit).
   template <typename MakeEvent>
@@ -241,12 +310,17 @@ class MisalignedEngine {
   std::vector<Rng> rngs_;
 
   std::int64_t half_ = 0;
-  std::vector<bool> awake_;
+  std::vector<std::uint8_t> awake_;
   std::vector<Slot> decision_slot_;
+  std::size_t woken_ = 0;      ///< nodes admitted so far
+  std::size_t undecided_ = 0;  ///< nodes without a recorded decision
   std::vector<std::int64_t> tx_until_half_;
   std::vector<std::uint32_t> nbr_count_[2];
+  std::vector<std::int64_t> nbr_stamp_[2];  ///< half the count is valid for
+  std::vector<graph::NodeId> wake_order_[2];  ///< per parity, (wake, id)
+  std::vector<graph::NodeId> awake_list_[2];  ///< per parity, wake order
+  std::size_t next_wake_[2] = {0, 0};
   std::vector<ActiveTx> active_;
-  std::vector<graph::NodeId> started_now_;
 
   RunStats stats_;
 };

@@ -2,12 +2,24 @@
 /// \brief A deliberately naive re-implementation of the radio medium used
 ///        ONLY for differential testing.
 ///
-/// Same semantics and same per-node randomness derivation as
-/// radio::Engine, but written in the most obvious way possible (full
-/// arrays cleared every slot, no epoch stamps, no early-outs).  The
-/// differential tests run identical protocols on both engines and demand
-/// bit-identical outcomes; any divergence pinpoints a bug in the optimized
-/// engine's bookkeeping.
+/// Same semantics and same randomness derivation as radio::Engine, but
+/// written in the most obvious way possible (full arrays rebuilt every
+/// slot, no epoch stamps, no touched-listener lists, no counters, no
+/// fast-forward).  The differential tests run identical protocols on both
+/// engines and demand bit-identical outcomes; any divergence pinpoints a
+/// bug in the optimized engine's bookkeeping.
+///
+/// Two details are a *specification* shared with the optimized engine,
+/// because they fix the medium-RNG draw sequence when drop_probability
+/// is positive (per-node streams and aggregate stats are order-blind):
+///
+///  1. Node iteration order: (wake slot, id) ascending while nodes are
+///     still waking; ascending id from the slot the last node wakes.
+///  2. Per-slot listener processing order: walk transmitters in that node
+///     order, each transmitter's neighbors in adjacency order, and
+///     process every live awake listener at its FIRST visit only.  A
+///     clean (count == 1) listener that is not itself transmitting draws
+///     the drop chance from the medium RNG at that moment.
 
 #pragma once
 
@@ -27,12 +39,18 @@ template <radio::NodeProtocol P>
 class ReferenceEngine {
  public:
   ReferenceEngine(const graph::Graph& g, radio::WakeSchedule schedule,
-                  std::vector<P> nodes, std::uint64_t seed)
-      : graph_(g), schedule_(std::move(schedule)), nodes_(std::move(nodes)) {
+                  std::vector<P> nodes, std::uint64_t seed,
+                  radio::MediumOptions medium = {})
+      : graph_(g),
+        schedule_(std::move(schedule)),
+        nodes_(std::move(nodes)),
+        medium_(medium),
+        medium_rng_(mix_seed(seed, 0xFADEDull)) {
     for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
       rngs_.emplace_back(mix_seed(seed, v));
     }
     awake_.assign(graph_.num_nodes(), false);
+    dead_.assign(graph_.num_nodes(), false);
     decision_slot_.assign(graph_.num_nodes(), -1);
   }
 
@@ -40,7 +58,8 @@ class ReferenceEngine {
     const radio::Slot now = slot_;
     const std::size_t n = graph_.num_nodes();
 
-    // Wake (any order; engine wakes in schedule order — same calls).
+    // Wake (any order; per-node RNG streams are independent).  Dead
+    // nodes still wake — on_wake fires — but never participate.
     for (graph::NodeId v = 0; v < n; ++v) {
       if (!awake_[v] && schedule_.wake_slot(v) <= now) {
         awake_[v] = true;
@@ -49,51 +68,96 @@ class ReferenceEngine {
       }
     }
 
-    // Collect transmissions in node order.
-    std::vector<std::optional<radio::Message>> tx(n);
+    // The shared iteration-order spec (see file comment), rebuilt from
+    // scratch every slot.
+    std::vector<graph::NodeId> order;
+    bool all_woken = true;
     for (graph::NodeId v = 0; v < n; ++v) {
-      if (!awake_[v]) continue;
+      if (awake_[v] && !dead_[v]) order.push_back(v);
+      if (!awake_[v]) all_woken = false;
+    }
+    if (!all_woken) {
+      std::sort(order.begin(), order.end(),
+                [this](graph::NodeId a, graph::NodeId b) {
+                  const radio::Slot wa = schedule_.wake_slot(a);
+                  const radio::Slot wb = schedule_.wake_slot(b);
+                  return wa != wb ? wa < wb : a < b;
+                });
+    }
+
+    // Collect transmissions in that order.
+    std::vector<std::optional<radio::Message>> tx(n);
+    std::vector<graph::NodeId> transmitters;
+    for (graph::NodeId v : order) {
       auto ctx = context(v, now);
       tx[v] = nodes_[v].on_slot(ctx);
-      if (tx[v]) ++transmissions_;
+      if (tx[v]) {
+        ++stats_.transmissions;
+        transmitters.push_back(v);
+      }
     }
 
-    // Deliver: for every listening awake node, count transmitting
-    // neighbors from scratch.
-    for (graph::NodeId v = 0; v < n; ++v) {
-      if (!awake_[v] || tx[v].has_value()) continue;
-      std::size_t talkers = 0;
-      graph::NodeId talker = graph::kInvalidNode;
-      for (graph::NodeId u : graph_.neighbors(v)) {
-        if (tx[u].has_value()) {
-          ++talkers;
-          talker = u;
+    // Deliver: every live awake listener is processed at its first visit
+    // in transmitter-major order; talkers are recounted from scratch.
+    std::vector<bool> processed(n, false);
+    for (graph::NodeId sender : transmitters) {
+      for (graph::NodeId u : graph_.neighbors(sender)) {
+        if (!awake_[u] || dead_[u] || processed[u]) continue;
+        processed[u] = true;
+        if (tx[u].has_value()) continue;  // transmitting: cannot receive
+        std::size_t talkers = 0;
+        graph::NodeId talker = graph::kInvalidNode;
+        for (graph::NodeId w : graph_.neighbors(u)) {
+          if (tx[w].has_value()) {
+            ++talkers;
+            talker = w;
+          }
+        }
+        if (talkers == 1) {
+          if (medium_.drop_probability > 0.0 &&
+              medium_rng_.chance(medium_.drop_probability)) {
+            ++stats_.dropped;
+          } else {
+            ++stats_.deliveries;
+            auto ctx = context(u, now);
+            nodes_[u].on_receive(ctx, *tx[talker]);
+          }
+        } else if (talkers >= 2) {
+          ++stats_.collisions;
         }
       }
-      if (talkers == 1) {
-        auto ctx = context(v, now);
-        nodes_[v].on_receive(ctx, *tx[talker]);
-        ++deliveries_;
-      } else if (talkers >= 2) {
-        ++collisions_;
-      }
     }
 
     for (graph::NodeId v = 0; v < n; ++v) {
-      if (awake_[v] && decision_slot_[v] == -1 && nodes_[v].decided()) {
+      if (awake_[v] && !dead_[v] && decision_slot_[v] == -1 &&
+          nodes_[v].decided()) {
         decision_slot_[v] = now;
       }
     }
     ++slot_;
+    stats_.slots_run = slot_;
   }
 
-  void run_until_all_decided(radio::Slot max_slots) {
-    while (slot_ < max_slots && !all_decided()) step();
+  /// Mirrors Engine::run's loop (step, then stop once all decided) —
+  /// minus the fast-forward, which must be unobservable in the results.
+  radio::RunStats run(radio::Slot max_slots) {
+    while (slot_ < max_slots) {
+      step();
+      if (all_decided()) break;
+    }
+    stats_.all_decided = all_decided();
+    return stats_;
   }
+
+  void run_until_all_decided(radio::Slot max_slots) { run(max_slots); }
+
+  /// Same semantics as Engine::deactivate, including idempotence.
+  void deactivate(graph::NodeId v) { dead_.at(v) = true; }
 
   [[nodiscard]] bool all_decided() const {
     for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
-      if (!awake_[v] || decision_slot_[v] == -1) return false;
+      if (!awake_[v]) return false;  // everyone must wake, even dead
+      if (!dead_[v] && decision_slot_[v] == -1) return false;
     }
     return true;
   }
@@ -102,9 +166,12 @@ class ReferenceEngine {
   [[nodiscard]] radio::Slot decision_slot(graph::NodeId v) const {
     return decision_slot_.at(v);
   }
-  [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
-  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
-  [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
+  [[nodiscard]] const radio::RunStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t transmissions() const {
+    return stats_.transmissions;
+  }
+  [[nodiscard]] std::uint64_t deliveries() const { return stats_.deliveries; }
+  [[nodiscard]] std::uint64_t collisions() const { return stats_.collisions; }
 
  private:
   [[nodiscard]] radio::SlotContext context(graph::NodeId v, radio::Slot now) {
@@ -119,13 +186,14 @@ class ReferenceEngine {
   const graph::Graph& graph_;
   radio::WakeSchedule schedule_;
   std::vector<P> nodes_;
+  radio::MediumOptions medium_;
+  Rng medium_rng_;
   std::vector<Rng> rngs_;
   std::vector<bool> awake_;
+  std::vector<bool> dead_;
   std::vector<radio::Slot> decision_slot_;
   radio::Slot slot_ = 0;
-  std::uint64_t transmissions_ = 0;
-  std::uint64_t deliveries_ = 0;
-  std::uint64_t collisions_ = 0;
+  radio::RunStats stats_;
 };
 
 }  // namespace urn::testing

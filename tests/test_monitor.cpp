@@ -395,5 +395,58 @@ TEST(BenchRegress, StringVsNumberNeverEqual) {
   EXPECT_FALSE(diff_bench(base, fresh).ok());
 }
 
+// ---- rate-class keys (throughput metrics) --------------------------------
+
+TEST(BenchRegress, RateKeysNeverComparedExactly) {
+  // Machine-dependent throughput halves; with the default rate class the
+  // key is checked for presence + numeric only, never for equality.
+  const BenchDoc base =
+      parse_bench_json("{\"engine.noderate.udg\": 200.0, \"x\": 1}");
+  const BenchDoc fresh =
+      parse_bench_json("{\"engine.noderate.udg\": 100.0, \"x\": 1}");
+  const DiffReport r = diff_bench(base, fresh);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.compared, 2u);  // rate keys count as compared, not skipped
+  EXPECT_EQ(r.skipped, 0u);
+}
+
+TEST(BenchRegress, MissingRateKeyIsARegression) {
+  const BenchDoc base = parse_bench_json("{\"engine.noderate.udg\": 200.0}");
+  const BenchDoc fresh = parse_bench_json("{\"x\": 1}");
+  const DiffReport r = diff_bench(base, fresh);
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_NE(r.regressions[0].what.find("missing"), std::string::npos);
+}
+
+TEST(BenchRegress, NonNumericRateKeyIsARegression) {
+  const BenchDoc base = parse_bench_json("{\"engine.noderate.udg\": 200.0}");
+  const BenchDoc fresh =
+      parse_bench_json("{\"engine.noderate.udg\": \"fast\"}");
+  const DiffReport r = diff_bench(base, fresh);
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_NE(r.regressions[0].what.find("not numeric"), std::string::npos);
+}
+
+TEST(BenchRegress, RateTolFlagsOneSidedDrops) {
+  const BenchDoc base = parse_bench_json("{\"engine.noderate.udg\": 200.0}");
+  const BenchDoc slower = parse_bench_json("{\"engine.noderate.udg\": 120.0}");
+  const BenchDoc faster = parse_bench_json("{\"engine.noderate.udg\": 900.0}");
+  DiffOptions opt;
+  opt.rate_rel_tol = 0.3;  // floor = 140.0
+  EXPECT_FALSE(diff_bench(base, slower, opt).ok());
+  EXPECT_TRUE(diff_bench(base, faster, opt).ok());  // faster is never wrong
+  const BenchDoc at_floor =
+      parse_bench_json("{\"engine.noderate.udg\": 140.0}");
+  EXPECT_TRUE(diff_bench(base, at_floor, opt).ok());  // floor is inclusive
+}
+
+TEST(BenchRegress, EmptyRateClassFallsBackToExact) {
+  const BenchDoc base = parse_bench_json("{\"engine.noderate.udg\": 200.0}");
+  const BenchDoc fresh = parse_bench_json("{\"engine.noderate.udg\": 100.0}");
+  DiffOptions opt;
+  opt.rate_substrings.clear();
+  EXPECT_FALSE(diff_bench(base, fresh, opt).ok());
+}
+
 }  // namespace
 }  // namespace urn::obs

@@ -79,5 +79,200 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(param_info.param));
     });
 
+// ---- fuzz grid: drop, deactivate, wake gaps -------------------------------
+
+void expect_stats_equal(const radio::RunStats& fast,
+                        const radio::RunStats& ref) {
+  EXPECT_EQ(fast.slots_run, ref.slots_run);
+  EXPECT_EQ(fast.transmissions, ref.transmissions);
+  EXPECT_EQ(fast.deliveries, ref.deliveries);
+  EXPECT_EQ(fast.collisions, ref.collisions);
+  EXPECT_EQ(fast.dropped, ref.dropped);
+  EXPECT_EQ(fast.all_decided, ref.all_decided);
+}
+
+template <typename Fast, typename Ref>
+void expect_nodes_equal(const graph::Graph& g, const Fast& fast,
+                        const Ref& ref) {
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(fast.decision_slot(v), ref.decision_slot(v)) << "node " << v;
+    EXPECT_EQ(fast.node(v).phase(), ref.node(v).phase()) << "node " << v;
+    EXPECT_EQ(fast.node(v).color(), ref.node(v).color()) << "node " << v;
+    EXPECT_EQ(fast.node(v).counter(), ref.node(v).counter()) << "node " << v;
+  }
+}
+
+using DropCase = std::tuple<std::string, std::uint64_t, double>;
+
+class EngineDiffDrop : public ::testing::TestWithParam<DropCase> {};
+
+// drop_probability > 0 makes the medium RNG draw once per clean
+// reception, in the engine's documented listener order — any ordering
+// bug in the single-pass medium desynchronizes the stream and cascades
+// into every later delivery.
+TEST_P(EngineDiffDrop, LossyMediumMatchesReferenceDrawForDraw) {
+  const auto& [family, seed, drop] = GetParam();
+  const graph::Graph g = make_graph(family, seed);
+  const auto delta = std::max(2u, g.max_closed_degree());
+  const core::Params params =
+      core::Params::practical(g.num_nodes(), delta, 5, 12);
+  const radio::MediumOptions medium{drop};
+
+  Rng wrng(mix_seed(seed, 78));
+  const auto schedule =
+      radio::WakeSchedule::uniform(g.num_nodes(), 400, wrng);
+
+  std::vector<core::ColoringNode> a_nodes, b_nodes;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    a_nodes.emplace_back(&params, v);
+    b_nodes.emplace_back(&params, v);
+  }
+  radio::Engine<core::ColoringNode> fast(g, schedule, std::move(a_nodes),
+                                         seed, medium);
+  testing::ReferenceEngine<core::ColoringNode> ref(
+      g, schedule, std::move(b_nodes), seed, medium);
+
+  const radio::Slot horizon = 3 * params.threshold() + 1500;
+  for (radio::Slot t = 0; t < horizon; ++t) {
+    fast.step();
+    ref.step();
+    if ((t & 511) == 0) EXPECT_EQ(fast.all_decided(), ref.all_decided());
+  }
+  expect_stats_equal(fast.stats(), ref.stats());
+  EXPECT_GT(fast.stats().dropped, 0u);  // the lossy path actually ran
+  expect_nodes_equal(g, fast, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DropGrid, EngineDiffDrop,
+    ::testing::Values(DropCase{"udg", 21, 0.15}, DropCase{"udg", 22, 0.35},
+                      DropCase{"gnp", 23, 0.15}, DropCase{"star", 24, 0.25},
+                      DropCase{"cycle", 25, 0.35}),
+    [](const ::testing::TestParamInfo<DropCase>& param_info) {
+      return std::get<0>(param_info.param) + "_s" +
+             std::to_string(std::get<1>(param_info.param)) + "_d" +
+             std::to_string(
+                 static_cast<int>(std::get<2>(param_info.param) * 100));
+    });
+
+// Mid-run crash-stop injection: the same deactivation script (including
+// double-deactivations, which must be idempotent) runs against both
+// engines under a lossy medium, exercising the compaction of dead nodes
+// out of the optimized engine's live lists.
+TEST(EngineDiffDeactivate, MidRunCrashesMatchReference) {
+  for (const std::uint64_t seed : {31ull, 32ull, 33ull}) {
+    const graph::Graph g = make_graph("udg", seed);
+    const auto delta = std::max(2u, g.max_closed_degree());
+    const core::Params params =
+        core::Params::practical(g.num_nodes(), delta, 5, 12);
+    const radio::MediumOptions medium{0.2};
+
+    Rng wrng(mix_seed(seed, 79));
+    const auto schedule =
+        radio::WakeSchedule::uniform(g.num_nodes(), 600, wrng);
+
+    std::vector<core::ColoringNode> a_nodes, b_nodes;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      a_nodes.emplace_back(&params, v);
+      b_nodes.emplace_back(&params, v);
+    }
+    radio::Engine<core::ColoringNode> fast(g, schedule, std::move(a_nodes),
+                                           seed, medium);
+    testing::ReferenceEngine<core::ColoringNode> ref(
+        g, schedule, std::move(b_nodes), seed, medium);
+
+    const radio::Slot horizon = 3 * params.threshold() + 1500;
+    Rng crash_rng(mix_seed(seed, 80));
+    for (radio::Slot t = 0; t < horizon; ++t) {
+      if (t % 701 == 350) {
+        // Crash a pseudo-random node; every third time, re-kill an
+        // already-dead one to pin idempotence.
+        const auto victim = static_cast<graph::NodeId>(
+            crash_rng.below(g.num_nodes()));
+        fast.deactivate(victim);
+        ref.deactivate(victim);
+        if (t % 3 == 0) {
+          fast.deactivate(victim);
+          ref.deactivate(victim);
+        }
+        EXPECT_TRUE(fast.is_dead(victim));
+      }
+      fast.step();
+      ref.step();
+      if ((t & 255) == 0) EXPECT_EQ(fast.all_decided(), ref.all_decided());
+    }
+    expect_stats_equal(fast.stats(), ref.stats());
+    expect_nodes_equal(g, fast, ref);
+  }
+}
+
+// Adversarial wake schedules with long empty gaps, driven through run():
+// the optimized engine fast-forwards across the gaps while the reference
+// grinds slot by slot — RunStats must still agree field for field.
+TEST(EngineDiffGaps, FastForwardAcrossWakeGapsIsUnobservable) {
+  for (const std::uint64_t seed : {41ull, 42ull}) {
+    const graph::Graph g = make_graph("udg", seed);
+    const std::size_t n = g.num_nodes();
+    const auto delta = std::max(2u, g.max_closed_degree());
+    const core::Params params = core::Params::practical(n, delta, 5, 12);
+    const radio::MediumOptions medium{0.1};
+
+    // Three wake waves separated by multi-thousand-slot silence, after a
+    // long initial gap: nodes 0..n/3 at 4000, ..2n/3 at 9000, rest 15000.
+    std::vector<radio::Slot> wakes(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      wakes[v] = v < n / 3 ? 4000 : (v < 2 * n / 3 ? 9000 : 15000);
+    }
+    const radio::WakeSchedule schedule{std::vector<radio::Slot>(wakes)};
+
+    std::vector<core::ColoringNode> a_nodes, b_nodes;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      a_nodes.emplace_back(&params, v);
+      b_nodes.emplace_back(&params, v);
+    }
+    radio::Engine<core::ColoringNode> fast(g, schedule, std::move(a_nodes),
+                                           seed, medium);
+    testing::ReferenceEngine<core::ColoringNode> ref(
+        g, schedule, std::move(b_nodes), seed, medium);
+
+    const radio::Slot budget = 15000 + 4 * params.threshold() + 2000;
+    const radio::RunStats fast_stats = fast.run(budget);
+    const radio::RunStats ref_stats = ref.run(budget);
+    expect_stats_equal(fast_stats, ref_stats);
+    expect_nodes_equal(g, fast, ref);
+    EXPECT_EQ(fast.all_decided(), ref.all_decided());
+  }
+}
+
+// run() must also agree when nothing ever wakes late — plain grid, whole
+// runs, RunStats field for field (the original grid only compared three
+// counters after a fixed horizon of manual steps).
+TEST(EngineDiffRun, WholeRunStatsMatchFieldForField) {
+  for (const std::uint64_t seed : {51ull, 52ull}) {
+    const graph::Graph g = make_graph("gnp", seed);
+    const auto delta = std::max(2u, g.max_closed_degree());
+    const core::Params params =
+        core::Params::practical(g.num_nodes(), delta, 5, 12);
+
+    Rng wrng(mix_seed(seed, 81));
+    const auto schedule =
+        radio::WakeSchedule::uniform(g.num_nodes(), 300, wrng);
+
+    std::vector<core::ColoringNode> a_nodes, b_nodes;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      a_nodes.emplace_back(&params, v);
+      b_nodes.emplace_back(&params, v);
+    }
+    radio::Engine<core::ColoringNode> fast(g, schedule, std::move(a_nodes),
+                                           seed);
+    testing::ReferenceEngine<core::ColoringNode> ref(
+        g, schedule, std::move(b_nodes), seed);
+
+    const radio::Slot budget = 6 * params.threshold() + 4000;
+    expect_stats_equal(fast.run(budget), ref.run(budget));
+    expect_nodes_equal(g, fast, ref);
+  }
+}
+
 }  // namespace
 }  // namespace urn

@@ -1,14 +1,18 @@
-// Unit tests for the support module: RNG, math helpers, statistics.
+// Unit tests for the support module: RNG, math helpers, statistics,
+// hot-path containers.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <numeric>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/containers.hpp"
 #include "support/mathutil.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -351,6 +355,133 @@ TEST(LinearFit, ConstantXGivesZeroSlope) {
   const LinearFit fit = fit_line({2.0, 2.0, 2.0}, {1.0, 5.0, 9.0});
   EXPECT_DOUBLE_EQ(fit.slope, 0.0);
   EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+}
+
+// ----------------------------------------------------------- containers ---
+
+TEST(SmallVec, StaysInlineUpToN) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_TRUE(v.inline_storage());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(v[i], static_cast<int>(i) * 10);
+  }
+}
+
+TEST(SmallVec, SpillsToHeapBeyondNAndKeepsContents) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 40; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 40u);
+  EXPECT_FALSE(v.inline_storage());
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_EQ(v[i], static_cast<int>(i));
+}
+
+TEST(SmallVec, ClearKeepsHeapCapacity) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);  // no release on clear
+  v.push_back(7);
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(SmallVec, CopyIsDeepInlineAndHeap) {
+  SmallVec<int, 4> small;
+  small.push_back(1);
+  SmallVec<int, 4> small_copy(small);
+  small_copy.push_back(2);
+  EXPECT_EQ(small.size(), 1u);
+  EXPECT_EQ(small_copy.size(), 2u);
+
+  SmallVec<int, 4> big;
+  for (int i = 0; i < 16; ++i) big.push_back(i);
+  SmallVec<int, 4> big_copy;
+  big_copy = big;
+  EXPECT_EQ(big_copy.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(big_copy[i], static_cast<int>(i));
+  }
+  big_copy.push_back(99);
+  EXPECT_EQ(big.size(), 16u);
+}
+
+TEST(SmallVec, MoveStealsHeapAndCopiesInline) {
+  SmallVec<int, 2> heap;
+  for (int i = 0; i < 10; ++i) heap.push_back(i);
+  SmallVec<int, 2> stolen(std::move(heap));
+  EXPECT_EQ(stolen.size(), 10u);
+  EXPECT_EQ(heap.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(heap.inline_storage());
+
+  SmallVec<int, 2> inl;
+  inl.push_back(5);
+  SmallVec<int, 2> moved;
+  moved = std::move(inl);
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0], 5);
+}
+
+TEST(SmallVec, RangeForIteratesInOrder) {
+  SmallVec<int, 3> v;
+  for (int i = 0; i < 7; ++i) v.push_back(i);
+  int expect = 0;
+  for (int x : v) EXPECT_EQ(x, expect++);
+  EXPECT_EQ(expect, 7);
+}
+
+TEST(RingQueue, FifoOrderAcrossGrowth) {
+  RingQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 100; ++i) q.push_back(i);
+  EXPECT_EQ(q.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, WrapsAroundMatchingDeque) {
+  // Interleaved push/pop forces head_ to wrap; a std::deque is the oracle.
+  RingQueue<int> q;
+  std::deque<int> oracle;
+  Rng rng(22);
+  for (int step = 0; step < 2000; ++step) {
+    if (oracle.empty() || rng.chance(0.6)) {
+      q.push_back(step);
+      oracle.push_back(step);
+    } else {
+      EXPECT_EQ(q.front(), oracle.front());
+      q.pop_front();
+      oracle.pop_front();
+    }
+    EXPECT_EQ(q.size(), oracle.size());
+  }
+  for (std::size_t i = 0; i < oracle.size(); ++i) EXPECT_EQ(q.at(i), oracle[i]);
+}
+
+TEST(RingQueue, ContainsScansFifoContents) {
+  RingQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push_back(i);
+  for (int i = 0; i < 5; ++i) q.pop_front();
+  EXPECT_FALSE(q.contains(4));  // popped
+  EXPECT_TRUE(q.contains(5));
+  EXPECT_TRUE(q.contains(9));
+  EXPECT_FALSE(q.contains(10));
+}
+
+TEST(RingQueue, ClearKeepsBufferAndResets) {
+  RingQueue<int> q;
+  for (int i = 0; i < 20; ++i) q.push_back(i);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push_back(42);
+  EXPECT_EQ(q.front(), 42);
+  EXPECT_EQ(q.size(), 1u);
 }
 
 }  // namespace

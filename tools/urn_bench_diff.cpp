@@ -7,7 +7,10 @@
 /// fixed-seed and bit-reproducible, so the default comparison is exact;
 /// wall-clock profile counters (keys containing ".ns") are skipped by
 /// default, and `--rel-tol` / `--abs-tol` open per-metric tolerances for
-/// intentionally noisy metrics.
+/// intentionally noisy metrics.  Throughput keys (default substring
+/// ".noderate.") form a rate class: they must be present and numeric but
+/// are never compared exactly — `--rate-tol 0.3` additionally fails a
+/// fresh rate more than 30% below the baseline (one-sided).
 ///
 /// Examples:
 ///   urn_bench_diff --baseline bench/baseline --fresh build/bench_json
@@ -84,6 +87,13 @@ int main(int argc, char** argv) {
                    "comma-separated key substrings to skip (wall-clock "
                    "counters and the worker-thread count by default; "
                    "empty = compare everything)");
+  flags.add_string("rate-keys", ".noderate.",
+                   "comma-separated key substrings treated as throughput "
+                   "rates: must be present and numeric, never compared "
+                   "exactly (empty = no rate class)");
+  flags.add_double("rate-tol", 0.0,
+                   "one-sided relative tolerance for rate keys: fail when "
+                   "fresh < baseline*(1-tol); 0 disables the value check");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
@@ -106,6 +116,8 @@ int main(int argc, char** argv) {
   options.rel_tol = flags.get_double("rel-tol");
   options.abs_tol = flags.get_double("abs-tol");
   options.skip_substrings = split_csv(flags.get_string("skip"));
+  options.rate_substrings = split_csv(flags.get_string("rate-keys"));
+  options.rate_rel_tol = flags.get_double("rate-tol");
 
   const std::vector<fs::path> baseline_files =
       collect_bench_files(baseline_root);
