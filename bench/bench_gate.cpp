@@ -48,6 +48,15 @@ int main(int argc, char** argv) {
   coloring.set("jobs", static_cast<std::uint64_t>(trace.resolved_jobs()));
   core::TraceOptions monitored;
   monitored.monitor = true;
+  // --telemetry-* runs every trial with an engine probe and the pool
+  // reporting utilization; results stay bit-identical (probes read
+  // counts only) and the differ skips `telemetry.*` keys, so this can
+  // never perturb the committed baselines.
+  monitored.telemetry = trace.telemetry;
+  std::optional<obs::telemetry::PoolProbe> pool_probe;
+  if (trace.telemetry != nullptr) {
+    pool_probe.emplace(*trace.telemetry, trace.resolved_jobs());
+  }
   struct GatePartial {
     std::size_t valid = 0;
     obs::RunLedger ledger;
@@ -58,7 +67,7 @@ int main(int argc, char** argv) {
     std::optional<Violation> violation;
   };
   const GatePartial gate = exec::parallel_for_trials<GatePartial>(
-      trials, {trace.jobs, 0},
+      trials, {trace.jobs, 0, nullptr, pool_probe ? &*pool_probe : nullptr},
       [&](GatePartial& acc, std::size_t t) {
         Rng wrng(mix_seed(0xCA7EF, t));
         const auto ws =
@@ -92,6 +101,7 @@ int main(int argc, char** argv) {
   coloring.set("trials", static_cast<std::uint64_t>(trials));
   coloring.set("valid", static_cast<std::uint64_t>(valid));
   bench::ledger_emit(coloring, gate.ledger);
+  coloring.add_profile();
   coloring.emit();
   std::printf("coloring: %zu/%zu valid, 0 invariant violations\n", valid,
               trials);
@@ -104,14 +114,21 @@ int main(int argc, char** argv) {
     std::size_t covered = 0;
     obs::RunLedger ledger;
   };
+  core::TraceOptions leader_opts;
+  leader_opts.telemetry = trace.telemetry;
   const LeaderPartial lgate = exec::parallel_for_trials<LeaderPartial>(
-      trials, {trace.jobs, 0},
+      trials, {trace.jobs, 0, nullptr, pool_probe ? &*pool_probe : nullptr},
       [&](LeaderPartial& acc, std::size_t t) {
         Rng wrng(mix_seed(0xCA7EB, t));
         const auto ws =
             radio::WakeSchedule::uniform(n, 2 * mp.params.threshold(), wrng);
-        const auto run = core::run_leader_election(net.graph, mp.params, ws,
-                                                   mix_seed(0xCA7EC, t));
+        const auto run =
+            trace.telemetry != nullptr
+                ? core::run_leader_election_traced(net.graph, mp.params, ws,
+                                                   mix_seed(0xCA7EC, t),
+                                                   leader_opts)
+                : core::run_leader_election(net.graph, mp.params, ws,
+                                            mix_seed(0xCA7EC, t));
         if (run.all_covered) ++acc.covered;
         acc.ledger.add("leaders", static_cast<double>(run.leaders.size()));
         double max_cover = 0.0;
@@ -131,6 +148,7 @@ int main(int argc, char** argv) {
   leader.set("trials", static_cast<std::uint64_t>(trials));
   leader.set("covered", static_cast<std::uint64_t>(covered));
   bench::ledger_emit(leader, lgate.ledger);
+  leader.add_profile();
   leader.emit();
   std::printf("leader election: %zu/%zu fully covered\n", covered, trials);
 

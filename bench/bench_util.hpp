@@ -23,7 +23,12 @@
 ///    across worker threads (`--jobs`, bit-identical results for every
 ///    value; the resolved count is recorded as the `jobs` key of
 ///    `BENCH_<name>.json`, which the regression diff skips alongside the
-///    `.ns` wall-clock keys).
+///    `.ns` wall-clock keys).  The `--telemetry-out` / `--telemetry-prom`
+///    / `--telemetry-interval` flags additionally attach the live
+///    telemetry subsystem (obs/telemetry.hpp): engine and pool probes
+///    feed the global registry, and a background snapshotter exports it
+///    as a JSONL time series (`urn_top` tails it) and/or a Prometheus
+///    exposition file while the experiment runs.
 ///
 ///  * `ledger_record` / `ledger_emit` — feed each trial's `RunResult`
 ///    into an `obs::RunLedger` and export the percentile summaries
@@ -51,6 +56,7 @@
 #include "obs/ledger.hpp"
 #include "obs/monitor.hpp"
 #include "obs/profile.hpp"
+#include "obs/telemetry.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
 
@@ -133,10 +139,29 @@ class BenchSummary {
     set(prefix + ".all_decided", s.all_decided);
   }
 
-  /// Snapshot the global profile/counter registry under "profile.*".
+  /// Snapshot the global profile/counter registry under "profile.*",
+  /// and — when a telemetry-enabled run populated it — the global
+  /// telemetry registry under "telemetry.*" (counters, gauges, and
+  /// histogram count/sum/p50/p95/max summaries).  The bench regression
+  /// diff skips the whole "telemetry." class, like ".ns": telemetry
+  /// totals include wall-clock and scheduling-dependent quantities, so
+  /// they are reported, never gated on.
   void add_profile() {
     for (const auto& [k, v] : obs::CounterRegistry::global().snapshot()) {
       set("profile." + k, v);
+    }
+    const auto& reg = obs::telemetry::Registry::global();
+    if (!reg.empty()) {
+      const obs::telemetry::Snapshot snap = reg.snapshot();
+      for (const auto& [k, v] : snap.counters) set("telemetry." + k, v);
+      for (const auto& [k, v] : snap.gauges) set("telemetry." + k, v);
+      for (const auto& [k, h] : snap.histograms) {
+        set("telemetry." + k + ".count", h.count);
+        set("telemetry." + k + ".sum", h.sum);
+        set("telemetry." + k + ".p50", h.quantile(0.50));
+        set("telemetry." + k + ".p95", h.quantile(0.95));
+        set("telemetry." + k + ".max", h.max_bound());
+      }
     }
   }
 
@@ -186,6 +211,21 @@ struct TraceArgs {
   std::int64_t window = 16;  ///< --metrics-window
   bool monitor = false;      ///< --monitor: online invariant checks
   std::size_t jobs = 1;      ///< --jobs: trial-loop workers (0 = all cores)
+  std::string telemetry_out;   ///< --telemetry-out: JSONL snapshot stream
+  std::string telemetry_prom;  ///< --telemetry-prom: Prometheus exposition
+  std::int64_t telemetry_interval = 1000;  ///< --telemetry-interval (ms)
+
+  /// Global telemetry registry when --telemetry-out / --telemetry-prom is
+  /// set, null otherwise.  Non-null turns on the engine/pool probes via
+  /// `options()` / `exec()` without enabling event tracing.
+  obs::telemetry::Registry* telemetry = nullptr;
+
+  /// Background snapshotter sampling `telemetry` every
+  /// `telemetry_interval` ms.  Shared like `spans`: every copy of the
+  /// args keeps it alive; the last copy's destruction stops it, which
+  /// writes one final snapshot — so the stream's last line is the
+  /// process's final counter state.
+  std::shared_ptr<obs::telemetry::Snapshotter> snapshotter;
 
   /// Shared wall-clock span collector, created when --spans-out is set.
   /// Every copy of the parsed args feeds the same sink (runner phases
@@ -203,6 +243,7 @@ struct TraceArgs {
     analysis::TrialExecOptions opts;
     opts.jobs = jobs;
     opts.spans = spans.get();
+    opts.telemetry = telemetry;
     return opts;
   }
 
@@ -219,6 +260,7 @@ struct TraceArgs {
     opts.bin_ring = bin_ring;
     opts.monitor = monitor;
     opts.spans = spans.get();
+    opts.telemetry = telemetry;
     return opts;
   }
 };
@@ -248,6 +290,15 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
   flags.add_int("jobs", 1,
                 "worker threads for the trial loops (0 = all hardware "
                 "threads); results are bit-identical for every value");
+  flags.add_string("telemetry-out", "",
+                   "stream live telemetry snapshots to this JSONL file "
+                   "(watch with urn_top --in <file>)");
+  flags.add_string("telemetry-prom", "",
+                   "write the latest telemetry snapshot to this file in "
+                   "Prometheus text exposition format (atomic rewrite per "
+                   "snapshot)");
+  flags.add_int("telemetry-interval", 1000,
+                "telemetry snapshot period in milliseconds");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
                  flags.usage(program).c_str());
@@ -268,11 +319,15 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
   args.monitor = flags.get_bool("monitor");
   args.jobs =
       static_cast<std::size_t>(std::max<std::int64_t>(0, flags.get_int("jobs")));
+  args.telemetry_out = flags.get_string("telemetry-out");
+  args.telemetry_prom = flags.get_string("telemetry-prom");
+  args.telemetry_interval =
+      std::max<std::int64_t>(1, flags.get_int("telemetry-interval"));
   // Fail on unwritable destinations now, not after the (often long)
   // aggregate loops have already run.
   for (const std::string& path :
        {args.trace_path, args.trace_bin_path, args.metrics_path,
-        args.spans_path}) {
+        args.spans_path, args.telemetry_out, args.telemetry_prom}) {
     if (path.empty()) continue;
     std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) {
@@ -290,6 +345,28 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
                         s->size(), out.c_str());
           } else {
             std::fprintf(stderr, "cannot write %s\n", out.c_str());
+          }
+          delete s;
+        });
+  }
+  if (!args.telemetry_out.empty() || !args.telemetry_prom.empty()) {
+    args.telemetry = &obs::telemetry::Registry::global();
+    args.telemetry->clear();  // one binary invocation = one time series
+    obs::telemetry::SnapshotterOptions sopts;
+    sopts.jsonl_path = args.telemetry_out;
+    sopts.prom_path = args.telemetry_prom;
+    sopts.interval_ms = static_cast<std::uint64_t>(args.telemetry_interval);
+    const std::string jsonl = args.telemetry_out;
+    args.snapshotter = std::shared_ptr<obs::telemetry::Snapshotter>(
+        new obs::telemetry::Snapshotter(*args.telemetry, sopts),
+        [jsonl](obs::telemetry::Snapshotter* s) {
+          s->stop();  // emits the final snapshot
+          if (!jsonl.empty()) {
+            std::printf(
+                "(telemetry: %llu snapshots -> %s; watch live with "
+                "urn_top --in %s)\n",
+                static_cast<unsigned long long>(s->snapshots_taken()),
+                jsonl.c_str(), jsonl.c_str());
           }
           delete s;
         });

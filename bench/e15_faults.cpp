@@ -23,10 +23,22 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
+#include <optional>
+
 int main(int argc, char** argv) {
   using namespace urn;
   const bench::TraceArgs trace = bench::parse_trace_args(argc, argv, "e15");
   bench::banner("E15", "failure injection: fading drops and leader crashes");
+
+  // --telemetry-*: the hand-rolled trial loops below feed the global
+  // registry via engine probes, and the pool reports utilization.
+  // Probes read counts only, so results stay bit-identical.
+  std::optional<obs::telemetry::PoolProbe> pool_probe;
+  if (trace.telemetry != nullptr) {
+    pool_probe.emplace(*trace.telemetry, trace.resolved_jobs());
+  }
+  const exec::ExecOptions eopts{trace.jobs, 0, nullptr,
+                                pool_probe ? &*pool_probe : nullptr};
 
   Rng rng(0xE15);
   const auto net = graph::random_udg(144, 8.0, 1.5, rng);
@@ -61,14 +73,22 @@ int main(int argc, char** argv) {
       obs::RunLedger ledger;
     };
     const Partial part = exec::parallel_for_trials<Partial>(
-        trials, {trace.jobs, 0},
+        trials, eopts,
         [&](Partial& acc, std::size_t t) {
           Rng wrng(mix_seed(0xE15F, t));
           const auto ws = radio::WakeSchedule::uniform(
               n, 2 * mp.params.threshold(), wrng);
-          const auto run = core::run_coloring(net.graph, mp.params, ws,
-                                              mix_seed(0xE15A, t), 0,
-                                              medium);
+          // --telemetry-* probes every trial (results bit-identical);
+          // the faulty medium flows through both paths unchanged.
+          core::TraceOptions topts;
+          topts.telemetry = trace.telemetry;
+          const auto run =
+              trace.telemetry != nullptr
+                  ? core::run_coloring_traced(net.graph, mp.params, ws,
+                                              mix_seed(0xE15A, t), topts, 0,
+                                              medium)
+                  : core::run_coloring(net.graph, mp.params, ws,
+                                       mix_seed(0xE15A, t), 0, medium);
           if (run.check.valid()) ++acc.valid;
           if (run.all_decided) ++acc.complete;
           acc.mean_t.add(run.mean_latency());
@@ -129,7 +149,7 @@ int main(int argc, char** argv) {
       std::size_t valid_runs = 0;
     };
     const CrashPartial part = exec::parallel_for_trials<CrashPartial>(
-        trials, {trace.jobs, 0},
+        trials, eopts,
         [&](CrashPartial& acc, std::size_t t) {
       std::vector<core::ColoringNode> nodes;
       for (graph::NodeId v = 0; v < n; ++v) {

@@ -33,6 +33,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,7 @@
 #include "core/runner.hpp"
 #include "exec/parallel.hpp"
 #include "graph/generators.hpp"
+#include "obs/telemetry.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
 
@@ -99,12 +101,19 @@ radio::WakeSchedule make_schedule(const CellSpec& spec,
   return radio::WakeSchedule(std::move(slots));
 }
 
-CellResult run_cell(const CellSpec& spec, std::size_t reps) {
+CellResult run_cell(const CellSpec& spec, std::size_t reps,
+                    obs::telemetry::Registry* telemetry) {
   const graph::Graph g = build_graph(spec);
   const auto delta = std::max(2u, g.max_closed_degree());
   const core::Params params =
       core::Params::practical(spec.n, delta, 5, 12);
   const radio::WakeSchedule schedule = make_schedule(spec, params);
+
+  // With --telemetry-* the reps run probed (zero-event NullSink engine
+  // path): exact keys stay bit-identical, only the rates shift by the
+  // probe's few-ns-per-slot cost.
+  core::TraceOptions topts;
+  topts.telemetry = telemetry;
 
   CellResult r;
   r.id = spec.family + ".n" + std::to_string(spec.n) + ".d" +
@@ -113,7 +122,11 @@ CellResult run_cell(const CellSpec& spec, std::size_t reps) {
   for (std::size_t rep = 0; rep < reps; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
     const core::RunResult run =
-        core::run_coloring(g, params, schedule, mix_seed(0x32AC5D, spec.seed));
+        telemetry != nullptr
+            ? core::run_coloring_traced(g, params, schedule,
+                                        mix_seed(0x32AC5D, spec.seed), topts)
+            : core::run_coloring(g, params, schedule,
+                                 mix_seed(0x32AC5D, spec.seed));
     const std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0;
     r.slots_run = static_cast<std::int64_t>(run.medium.slots_run);
@@ -166,6 +179,17 @@ int main(int argc, char** argv) {
                 "contended cores when > 1");
   flags.add_string("filter", "",
                    "only run cells whose id contains this substring");
+  flags.add_bool("progress", false,
+                 "print a one-line cells-done/ETA progress meter to "
+                 "stderr every telemetry interval");
+  flags.add_string("telemetry-out", "",
+                   "stream live telemetry snapshots to this JSONL file "
+                   "(watch with urn_top --in FILE)");
+  flags.add_string("telemetry-prom", "",
+                   "rewrite this file as Prometheus text exposition on "
+                   "every telemetry snapshot");
+  flags.add_int("telemetry-interval", 1000,
+                "telemetry / progress snapshot period in milliseconds");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
                  flags.usage("m2_macro").c_str());
@@ -206,19 +230,81 @@ int main(int argc, char** argv) {
                 resolved);
   }
 
+  // --progress and --telemetry-* share one snapshotter: a cells-done
+  // counter feeds the stderr ETA line, and with an export path set the
+  // reps additionally run with engine probes into the same registry.
+  const bool progress = flags.get_bool("progress");
+  const std::string telemetry_out = flags.get_string("telemetry-out");
+  const std::string telemetry_prom = flags.get_string("telemetry-prom");
+  const bool exporting = !telemetry_out.empty() || !telemetry_prom.empty();
+  obs::telemetry::Registry* telemetry = nullptr;
+  obs::telemetry::Counter* cells_done = nullptr;
+  std::optional<obs::telemetry::PoolProbe> pool_probe;
+  std::optional<obs::telemetry::Snapshotter> snapshotter;
+  if (progress || exporting) {
+    obs::telemetry::Registry& reg = obs::telemetry::Registry::global();
+    reg.clear();
+    cells_done = &reg.counter("m2.cells_done");
+    reg.gauge("m2.cells_total").set(static_cast<std::int64_t>(grid.size()));
+    if (exporting) {
+      telemetry = &reg;
+      pool_probe.emplace(reg, resolved);
+    }
+    obs::telemetry::SnapshotterOptions sopts;
+    sopts.jsonl_path = telemetry_out;
+    sopts.prom_path = telemetry_prom;
+    sopts.interval_ms = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, flags.get_int("telemetry-interval")));
+    if (progress) {
+      const std::size_t total_cells = grid.size();
+      sopts.on_snapshot = [total_cells](
+                              const obs::telemetry::Snapshot& s) {
+        const std::uint64_t* found = s.find_counter("m2.cells_done");
+        const std::uint64_t done = found != nullptr ? *found : 0;
+        const double eta =
+            (done > 0 && done < total_cells)
+                ? s.uptime_s * static_cast<double>(total_cells - done) /
+                      static_cast<double>(done)
+                : 0.0;
+        std::fprintf(stderr,
+                     "\rm2: %llu/%zu cells | %.1fs elapsed | eta %.0fs   ",
+                     static_cast<unsigned long long>(done), total_cells,
+                     s.uptime_s, eta);
+      };
+    }
+    snapshotter.emplace(reg, std::move(sopts));
+  }
+
   // One grid cell per "trial": exact keys are bit-identical for every
   // jobs value (fixed per-cell seeds); only the rates vary with load.
   struct Partial {
     std::vector<CellResult> cells;
   };
   const Partial all = exec::parallel_for_trials<Partial>(
-      grid.size(), {jobs, 1},
+      grid.size(), {jobs, 1, nullptr, pool_probe ? &*pool_probe : nullptr},
       [&](Partial& acc, std::size_t i) {
-        acc.cells.push_back(run_cell(grid[i], reps));
+        acc.cells.push_back(run_cell(grid[i], reps, telemetry));
+        if (cells_done != nullptr) cells_done->add(1);
       },
       [](Partial& into, Partial&& chunk) {
         for (CellResult& r : chunk.cells) into.cells.push_back(std::move(r));
       });
+
+  if (snapshotter.has_value()) {
+    snapshotter->stop();  // final snapshot carries the completed grid
+    if (progress) std::fprintf(stderr, "\n");
+    if (!telemetry_out.empty()) {
+      std::printf("(telemetry: %llu snapshots -> %s; watch live with "
+                  "urn_top --in %s)\n",
+                  static_cast<unsigned long long>(
+                      snapshotter->snapshots_taken()),
+                  telemetry_out.c_str(), telemetry_out.c_str());
+    }
+    if (!telemetry_prom.empty()) {
+      std::printf("(telemetry: prometheus exposition -> %s)\n",
+                  telemetry_prom.c_str());
+    }
+  }
 
   bench::BenchSummary summary(smoke ? "m2_smoke" : "m2_macro");
   summary.set("cells", static_cast<std::uint64_t>(all.cells.size()));
@@ -249,6 +335,7 @@ int main(int argc, char** argv) {
     std::printf("\nheadline: high-Delta whole-run rate %.1f M node-slots/s\n",
                 high_delta_rate / 1e6);
   }
+  summary.add_profile();
   summary.emit();
   return 0;
 }

@@ -16,7 +16,9 @@
 #include "analysis/experiment.hpp"
 #include "core/runner.hpp"
 #include "core/tdma.hpp"
+#include "exec/chunk.hpp"
 #include "exec/parallel.hpp"
+#include "obs/telemetry.hpp"
 #include "geom/spatial_grid.hpp"
 #include "graph/generators.hpp"
 #include "graph/independence.hpp"
@@ -116,6 +118,14 @@ int main(int argc, char** argv) {
   flags.add_bool("monitor", false,
                  "check the paper's invariants online on every trial; any "
                  "violation fails the run with exit 2");
+  flags.add_string("telemetry-out", "",
+                   "stream live telemetry snapshots to this JSONL file "
+                   "(watch with urn_top --in FILE)");
+  flags.add_string("telemetry-prom", "",
+                   "rewrite this file as Prometheus text exposition on "
+                   "every telemetry snapshot");
+  flags.add_int("telemetry-interval", 1000,
+                "telemetry snapshot period in milliseconds");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
@@ -163,7 +173,8 @@ int main(int argc, char** argv) {
   // Reject unwritable destinations up front rather than aborting mid-run.
   for (const std::string& path :
        {trace.events_jsonl, trace.events_bin,
-        flags.get_string("metrics-out")}) {
+        flags.get_string("metrics-out"), flags.get_string("telemetry-out"),
+        flags.get_string("telemetry-prom")}) {
     if (path.empty()) continue;
     std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) {
@@ -177,6 +188,28 @@ int main(int argc, char** argv) {
   const auto jobs = static_cast<std::size_t>(
       std::max<std::int64_t>(0, flags.get_int("jobs")));
   const bool verbose = flags.get_bool("verbose");
+
+  // Live telemetry: every trial runs with an engine probe feeding the
+  // global registry (zero-event NullSink path — see core::TraceOptions),
+  // the pool reports per-worker utilization, and a background snapshotter
+  // streams the registry to JSONL / Prometheus.  Probes read counts only,
+  // so results stay bit-identical to an uninstrumented run.
+  obs::telemetry::Registry* telemetry = nullptr;
+  std::optional<obs::telemetry::PoolProbe> pool_probe;
+  std::optional<obs::telemetry::Snapshotter> snapshotter;
+  const std::string telemetry_out = flags.get_string("telemetry-out");
+  const std::string telemetry_prom = flags.get_string("telemetry-prom");
+  if (!telemetry_out.empty() || !telemetry_prom.empty()) {
+    telemetry = &obs::telemetry::Registry::global();
+    telemetry->clear();
+    pool_probe.emplace(*telemetry, exec::resolve_jobs(jobs));
+    obs::telemetry::SnapshotterOptions sopts;
+    sopts.jsonl_path = telemetry_out;
+    sopts.prom_path = telemetry_prom;
+    sopts.interval_ms = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, flags.get_int("telemetry-interval")));
+    snapshotter.emplace(*telemetry, sopts);
+  }
 
   // The trial loop fans out over the deterministic executor: each trial
   // is a pure function of mix_seed(seed, t), workers own their sinks and
@@ -197,18 +230,20 @@ int main(int argc, char** argv) {
     std::optional<Violation> violation;
   };
   const SimPartial sim = exec::parallel_for_trials<SimPartial>(
-      trials, {jobs, 0},
+      trials, {jobs, 0, nullptr, pool_probe ? &*pool_probe : nullptr},
       [&](SimPartial& acc, std::size_t t) {
         Rng wrng(mix_seed(seed, 1000 + t));
         const auto schedule = build_wake(flags, net, params, wrng);
-        // Trial 0 carries the trace/metrics sinks; --monitor applies to
-        // every trial.  Sinks never touch the RNG streams, so traced and
-        // monitored runs are bit-identical to what run_coloring would
-        // have produced.
+        // Trial 0 carries the trace/metrics sinks; --monitor and
+        // --telemetry-* apply to every trial.  Sinks and probes never
+        // touch the RNG streams, so traced and monitored runs are
+        // bit-identical to what run_coloring would have produced.
         core::TraceOptions topts =
             (tracing && t == 0) ? trace : core::TraceOptions{};
         topts.monitor = monitor;
-        const bool use_traced = monitor || (tracing && t == 0);
+        topts.telemetry = telemetry;
+        const bool use_traced =
+            monitor || telemetry != nullptr || (tracing && t == 0);
         const auto run =
             use_traced
                 ? core::run_coloring_traced(net.graph, params, schedule,
@@ -256,6 +291,20 @@ int main(int argc, char** argv) {
         }
       });
 
+  if (snapshotter.has_value()) {
+    snapshotter->stop();  // flush a final snapshot before reporting
+    if (!telemetry_out.empty()) {
+      std::printf("(telemetry: %llu snapshots -> %s; watch live with "
+                  "urn_top --in %s)\n",
+                  static_cast<unsigned long long>(
+                      snapshotter->snapshots_taken()),
+                  telemetry_out.c_str(), telemetry_out.c_str());
+    }
+    if (!telemetry_prom.empty()) {
+      std::printf("(telemetry: prometheus exposition -> %s)\n",
+                  telemetry_prom.c_str());
+    }
+  }
   if (sim.violation.has_value()) {
     std::fprintf(stderr, "trial %zu: INVARIANT VIOLATIONS\n",
                  sim.violation->trial);

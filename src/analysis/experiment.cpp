@@ -1,8 +1,11 @@
 #include "analysis/experiment.hpp"
 
+#include <optional>
 #include <utility>
 
+#include "exec/chunk.hpp"
 #include "exec/parallel.hpp"
+#include "obs/telemetry.hpp"
 #include "support/rng.hpp"
 
 namespace urn::analysis {
@@ -101,10 +104,21 @@ CoreAggregate run_core_trials(const graph::Graph& g,
                               const ScheduleFactory& schedules,
                               std::size_t trials, std::uint64_t seed0,
                               const TrialExecOptions& exec) {
-  core::TraceOptions monitored;
-  monitored.monitor = true;
+  core::TraceOptions topts;
+  topts.monitor = exec.monitor;
+  topts.telemetry = exec.telemetry;
+  const bool traced = exec.monitor || exec.telemetry != nullptr;
+  // One pool probe for the whole trial loop; per-run engine probes are
+  // constructed inside run_coloring_traced (worker-local, like the
+  // monitor sink — sharded counters make the shared registry safe).
+  std::optional<obs::telemetry::PoolProbe> pool_probe;
+  if (exec.telemetry != nullptr) {
+    pool_probe.emplace(*exec.telemetry, exec::resolve_jobs(exec.jobs));
+  }
   return exec::parallel_for_trials<CoreAggregate>(
-      trials, exec::ExecOptions{exec.jobs, exec.chunk, exec.spans},
+      trials,
+      exec::ExecOptions{exec.jobs, exec.chunk, exec.spans,
+                        pool_probe ? &*pool_probe : nullptr},
       [&](CoreAggregate& agg, std::size_t t) {
         const std::uint64_t trial_seed = mix_seed(seed0, t);
         const radio::WakeSchedule schedule = schedules(trial_seed);
@@ -112,11 +126,11 @@ CoreAggregate run_core_trials(const graph::Graph& g,
         // monitor sink is constructed per trial, so all monitor state is
         // worker-local.  Either way the RunResult is bit-identical.
         const core::RunResult run =
-            exec.monitor
-                ? core::run_coloring_traced(g, params, schedule, trial_seed,
-                                            monitored, exec.max_slots)
-                : core::run_coloring(g, params, schedule, trial_seed,
-                                     exec.max_slots);
+            traced ? core::run_coloring_traced(g, params, schedule,
+                                               trial_seed, topts,
+                                               exec.max_slots)
+                   : core::run_coloring(g, params, schedule, trial_seed,
+                                        exec.max_slots);
         record_run(agg, run, t);
       },
       [](CoreAggregate& into, CoreAggregate&& part) { into.merge(part); });
@@ -162,13 +176,26 @@ LeaderAggregate run_leader_trials(const graph::Graph& g,
                                   const ScheduleFactory& schedules,
                                   std::size_t trials, std::uint64_t seed0,
                                   const TrialExecOptions& exec) {
+  core::TraceOptions topts;
+  topts.monitor = exec.monitor;
+  topts.telemetry = exec.telemetry;
+  const bool traced = exec.monitor || exec.telemetry != nullptr;
+  std::optional<obs::telemetry::PoolProbe> pool_probe;
+  if (exec.telemetry != nullptr) {
+    pool_probe.emplace(*exec.telemetry, exec::resolve_jobs(exec.jobs));
+  }
   return exec::parallel_for_trials<LeaderAggregate>(
-      trials, exec::ExecOptions{exec.jobs, exec.chunk, exec.spans},
+      trials,
+      exec::ExecOptions{exec.jobs, exec.chunk, exec.spans,
+                        pool_probe ? &*pool_probe : nullptr},
       [&](LeaderAggregate& agg, std::size_t t) {
         const std::uint64_t trial_seed = mix_seed(seed0, t);
         const radio::WakeSchedule schedule = schedules(trial_seed);
-        record_leader_run(agg,
-                          core::run_leader_election(g, params, schedule,
+        record_leader_run(
+            agg, traced ? core::run_leader_election_traced(
+                              g, params, schedule, trial_seed, topts,
+                              exec.max_slots)
+                        : core::run_leader_election(g, params, schedule,
                                                     trial_seed,
                                                     exec.max_slots));
       },

@@ -77,6 +77,14 @@ struct TrialExecOptions {
   /// Spans never feed back into results.  Not owned; must outlive the
   /// call.
   obs::SpanSink* spans = nullptr;
+  /// Optional live telemetry registry: every trial then runs with an
+  /// engine probe feeding it (slot/medium counters, the live
+  /// `engine.undecided` gauge, decision-latency histogram) and the trial
+  /// pool reports per-worker utilization into it.  Telemetry alone keeps
+  /// the zero-event NullSink engine path (see core::TraceOptions) and
+  /// never changes results — probes read counts, they never touch RNG
+  /// streams.  Not owned; must outlive the call.
+  obs::telemetry::Registry* telemetry = nullptr;
 };
 
 /// Aggregates over `trials` independent protocol executions.

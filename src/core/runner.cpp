@@ -6,6 +6,7 @@
 #include "obs/bintrace.hpp"
 #include "obs/profile.hpp"
 #include "obs/sink.hpp"
+#include "obs/telemetry.hpp"
 #include "support/check.hpp"
 
 namespace urn::core {
@@ -40,11 +41,12 @@ namespace {
 /// engine, extract everything the experiments need.  `run_coloring` calls
 /// this with the zero-overhead NullSink instantiation; the traced variant
 /// with a real sink.
-template <obs::EventSink S>
+template <obs::EventSink S,
+          typename T = obs::telemetry::NullEngineProbe>
 RunResult run_impl(const graph::Graph& g, const Params& params,
                    const radio::WakeSchedule& schedule, std::uint64_t seed,
                    Slot max_slots, radio::MediumOptions medium, S* sink,
-                   obs::SpanSink* spans = nullptr) {
+                   obs::SpanSink* spans = nullptr, T* probe = nullptr) {
   params.validate();
   URN_CHECK(schedule.size() == g.num_nodes());
   if (max_slots == 0) max_slots = default_slot_budget(params, schedule);
@@ -56,9 +58,12 @@ RunResult run_impl(const graph::Graph& g, const Params& params,
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     nodes.emplace_back(&params, v);
   }
-  radio::Engine<ColoringNode, S> engine(g, schedule, std::move(nodes), seed,
-                                        medium, sink);
+  radio::Engine<ColoringNode, S, T> engine(g, schedule, std::move(nodes),
+                                           seed, medium, sink);
   engine.set_span_sink(spans);
+  if constexpr (T::kEnabled) {
+    engine.set_telemetry(probe);
+  }
   const radio::RunStats stats = engine.run(max_slots);
 
   RunResult result;
@@ -76,8 +81,14 @@ RunResult run_impl(const graph::Graph& g, const Params& params,
     result.decision_slot[v] = engine.decision_slot(v);
     result.colors[v] = node.color();
     if (engine.decision_slot(v) !=
-        radio::Engine<ColoringNode, S>::kUndecided) {
+        radio::Engine<ColoringNode, S, T>::kUndecided) {
       result.latency.push_back(engine.decision_latency(v));
+      if constexpr (T::kEnabled) {
+        if (probe != nullptr) {
+          probe->record_decision_latency(
+              static_cast<std::uint64_t>(engine.decision_latency(v)));
+        }
+      }
     }
     if (node.is_leader()) ++result.num_leaders;
     result.leader_of[v] = node.leader();
@@ -106,13 +117,15 @@ RunResult run_impl(const graph::Graph& g, const Params& params,
 /// the same sink-templated engine path as `run_impl`: identical node
 /// construction, medium options and event emission — only the stopping
 /// rule differs (manual stepping until every node is covered).
-template <obs::EventSink S>
+template <obs::EventSink S,
+          typename T = obs::telemetry::NullEngineProbe>
 LeaderElectionResult leader_election_impl(const graph::Graph& g,
                                           const Params& params,
                                           const radio::WakeSchedule& schedule,
                                           std::uint64_t seed, Slot max_slots,
                                           radio::MediumOptions medium, S* sink,
-                                          obs::SpanSink* spans = nullptr) {
+                                          obs::SpanSink* spans = nullptr,
+                                          T* probe = nullptr) {
   params.validate();
   URN_CHECK(schedule.size() == g.num_nodes());
   if (max_slots == 0) max_slots = default_slot_budget(params, schedule);
@@ -124,9 +137,15 @@ LeaderElectionResult leader_election_impl(const graph::Graph& g,
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     nodes.emplace_back(&params, v);
   }
-  radio::Engine<ColoringNode, S> engine(g, schedule, std::move(nodes), seed,
-                                        medium, sink);
+  radio::Engine<ColoringNode, S, T> engine(g, schedule, std::move(nodes),
+                                           seed, medium, sink);
   engine.set_span_sink(spans);
+  if constexpr (T::kEnabled) {
+    engine.set_telemetry(probe);
+    // Step()-driven loop below: run()'s automatic probe bracketing never
+    // fires, so bracket the run here.
+    if (probe != nullptr) probe->begin_run();
+  }
 
   LeaderElectionResult result;
   result.leader_of.assign(g.num_nodes(), graph::kInvalidNode);
@@ -160,6 +179,15 @@ LeaderElectionResult leader_election_impl(const graph::Graph& g,
     const ColoringNode& node = engine.node(v);
     if (node.is_leader()) result.leaders.push_back(v);
     result.leader_of[v] = node.leader();
+    if constexpr (T::kEnabled) {
+      if (probe != nullptr && result.cover_latency[v] >= 0) {
+        probe->record_decision_latency(
+            static_cast<std::uint64_t>(result.cover_latency[v]));
+      }
+    }
+  }
+  if constexpr (T::kEnabled) {
+    if (probe != nullptr) probe->end_run();
   }
 
   auto& counters = obs::CounterRegistry::global();
@@ -222,6 +250,14 @@ struct TraceSinks {
   /// tracing overhead under `trace.overhead.*` (deterministic event /
   /// byte counts; final-flush wall clock lands under `.ns` keys, which
   /// the bench regression diff ignores).
+  /// True when `trace` requests no event-consuming sink at all — the
+  /// telemetry-only case, which runs on the NullSink engine instantiation
+  /// (probe only, zero event overhead).
+  static bool event_free(const TraceOptions& trace) {
+    return !trace.metrics && trace.events_jsonl.empty() &&
+           trace.events_bin.empty() && !trace.monitor;
+  }
+
   template <typename Result>
   void finish_into(Result& result, Slot slots_run,
                    const TraceOptions& trace) {
@@ -282,6 +318,22 @@ RunResult run_coloring_traced(const graph::Graph& g, const Params& params,
                               const radio::WakeSchedule& schedule,
                               std::uint64_t seed, const TraceOptions& trace,
                               Slot max_slots, radio::MediumOptions medium) {
+  if (trace.telemetry != nullptr) {
+    obs::telemetry::EngineProbe probe(*trace.telemetry);
+    if (TraceSinks::event_free(trace)) {
+      // Telemetry-only: probe on the NullSink instantiation — no event
+      // construction, no sink fan-out, untraced throughput.
+      return run_impl<obs::NullSink, obs::telemetry::EngineProbe>(
+          g, params, schedule, seed, max_slots, medium, nullptr,
+          trace.spans, &probe);
+    }
+    TraceSinks sinks(g, params, schedule, trace);
+    RunResult result =
+        run_impl(g, params, schedule, seed, max_slots, medium, &*sinks.tee,
+                 trace.spans, &probe);
+    sinks.finish_into(result, result.medium.slots_run, trace);
+    return result;
+  }
   TraceSinks sinks(g, params, schedule, trace);
   RunResult result = run_impl(g, params, schedule, seed, max_slots, medium,
                               &*sinks.tee, trace.spans);
@@ -302,6 +354,21 @@ LeaderElectionResult run_leader_election_traced(
     const graph::Graph& g, const Params& params,
     const radio::WakeSchedule& schedule, std::uint64_t seed,
     const TraceOptions& trace, Slot max_slots, radio::MediumOptions medium) {
+  if (trace.telemetry != nullptr) {
+    obs::telemetry::EngineProbe probe(*trace.telemetry);
+    if (TraceSinks::event_free(trace)) {
+      return leader_election_impl<obs::NullSink,
+                                  obs::telemetry::EngineProbe>(
+          g, params, schedule, seed, max_slots, medium, nullptr,
+          trace.spans, &probe);
+    }
+    TraceSinks sinks(g, params, schedule, trace);
+    LeaderElectionResult result =
+        leader_election_impl(g, params, schedule, seed, max_slots, medium,
+                             &*sinks.tee, trace.spans, &probe);
+    sinks.finish_into(result, result.medium.slots_run, trace);
+    return result;
+  }
   TraceSinks sinks(g, params, schedule, trace);
   LeaderElectionResult result = leader_election_impl(
       g, params, schedule, seed, max_slots, medium, &*sinks.tee,

@@ -95,6 +95,15 @@ struct TraceOptions {
   /// phase residencies (wake-up processing / protocol step / medium
   /// resolution) into it.  Not owned; must outlive the run.
   obs::SpanSink* spans = nullptr;
+  /// Optional live telemetry: run the engine with an
+  /// `obs::telemetry::EngineProbe` feeding this registry (slot/medium
+  /// counters, the live `engine.undecided` gauge, and the
+  /// `run.decision_latency` histogram).  Telemetry alone does NOT turn
+  /// on event emission: with every other knob off the run executes on
+  /// the NullSink engine instantiation plus the probe, so a monitored
+  /// sweep keeps its untraced throughput.  Not owned; must outlive the
+  /// run.
+  obs::telemetry::Registry* telemetry = nullptr;
 };
 
 /// Build the full `obs::MonitorConfig` for a run on `g`: κ₂ and the

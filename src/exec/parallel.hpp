@@ -57,6 +57,11 @@ struct ExecOptions {
   /// thread).  Spans never feed back into results — determinism holds
   /// with or without one.  Not owned; must outlive the call.
   obs::SpanSink* spans = nullptr;
+  /// Optional pool telemetry: per-worker utilization / chunks claimed /
+  /// queue wait, reported through `TrialPool::run` (see pool.hpp).  Like
+  /// spans, never feeds back into results.  Not owned; must outlive the
+  /// call.
+  obs::telemetry::PoolProbe* telemetry = nullptr;
 };
 
 template <typename Partial, typename Body, typename Merge>
@@ -77,20 +82,23 @@ template <typename Partial, typename Body, typename Merge>
       options.spans->name_track(static_cast<std::uint32_t>(w), label);
     }
   }
-  pool.run(plan.size(), [&](std::size_t ci) {
-    const std::uint64_t t0 =
-        options.spans != nullptr ? options.spans->now_ns() : 0;
-    Partial& partial = partials[ci];
-    for (std::size_t t = plan[ci].begin; t < plan[ci].end; ++t) {
-      body(partial, t);
-    }
-    if (options.spans != nullptr) {
-      options.spans->record(
-          "chunk", static_cast<std::uint32_t>(TrialPool::current_worker()),
-          t0, options.spans->now_ns() - t0,
-          static_cast<std::int64_t>(ci));
-    }
-  });
+  pool.run(
+      plan.size(),
+      [&](std::size_t ci) {
+        const std::uint64_t t0 =
+            options.spans != nullptr ? options.spans->now_ns() : 0;
+        Partial& partial = partials[ci];
+        for (std::size_t t = plan[ci].begin; t < plan[ci].end; ++t) {
+          body(partial, t);
+        }
+        if (options.spans != nullptr) {
+          options.spans->record(
+              "chunk",
+              static_cast<std::uint32_t>(TrialPool::current_worker()), t0,
+              options.spans->now_ns() - t0, static_cast<std::int64_t>(ci));
+        }
+      },
+      options.telemetry);
 
   Partial out{};
   for (Partial& partial : partials) merge(out, std::move(partial));

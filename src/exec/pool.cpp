@@ -1,6 +1,9 @@
 #include "exec/pool.hpp"
 
+#include <chrono>
+
 #include "exec/chunk.hpp"
+#include "obs/telemetry.hpp"
 
 namespace urn::exec {
 
@@ -28,16 +31,47 @@ TrialPool::~TrialPool() {
 }
 
 void TrialPool::drain(const std::function<void(std::size_t)>& fn) {
+  obs::telemetry::PoolProbe* probe = probe_;
+  if (probe == nullptr) {
+    for (;;) {
+      const std::size_t i = next_chunk_.fetch_add(1);
+      if (i >= num_chunks_) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+  }
+  // Probed drain: measure busy (inside fn) vs wait (everything else in
+  // the claim loop), reported once per worker when the queue runs dry.
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point drain_start = Clock::now();
+  std::uint64_t busy_ns = 0;
+  std::uint64_t chunks = 0;
   for (;;) {
     const std::size_t i = next_chunk_.fetch_add(1);
-    if (i >= num_chunks_) return;
+    if (i >= num_chunks_) break;
+    const Clock::time_point t0 = Clock::now();
     try {
       fn(i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!error_) error_ = std::current_exception();
     }
+    busy_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count());
+    ++chunks;
   }
+  const std::uint64_t total_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           drain_start)
+          .count());
+  probe->worker_drained(current_worker(), busy_ns,
+                        total_ns > busy_ns ? total_ns - busy_ns : 0, chunks);
 }
 
 void TrialPool::worker_loop(std::size_t worker_index) {
@@ -60,16 +94,33 @@ void TrialPool::worker_loop(std::size_t worker_index) {
 }
 
 void TrialPool::run(std::size_t num_chunks,
-                    const std::function<void(std::size_t)>& fn) {
+                    const std::function<void(std::size_t)>& fn,
+                    obs::telemetry::PoolProbe* probe) {
   if (num_chunks == 0) return;
   if (workers_.empty()) {
-    // jobs == 1: pure serial path, no atomics, no signalling.
-    for (std::size_t i = 0; i < num_chunks; ++i) fn(i);
+    // jobs == 1: pure serial path, no atomics, no signalling (probed
+    // serial runs still go through drain for uniform accounting).
+    if (probe == nullptr) {
+      for (std::size_t i = 0; i < num_chunks; ++i) fn(i);
+      return;
+    }
+    probe_ = probe;
+    num_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    drain(fn);
+    probe_ = nullptr;
+    if (error_) {
+      std::exception_ptr error = error_;
+      error_ = nullptr;
+      std::rethrow_exception(error);
+    }
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     fn_ = &fn;
+    probe_ = probe;
     num_chunks_ = num_chunks;
     next_chunk_.store(0, std::memory_order_relaxed);
     active_ = workers_.size();
@@ -81,6 +132,7 @@ void TrialPool::run(std::size_t num_chunks,
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return active_ == 0; });
   fn_ = nullptr;
+  probe_ = nullptr;
   if (error_) {
     std::exception_ptr error = error_;
     error_ = nullptr;

@@ -26,6 +26,10 @@
 #include <thread>
 #include <vector>
 
+namespace urn::obs::telemetry {
+class PoolProbe;
+}  // namespace urn::obs::telemetry
+
 namespace urn::exec {
 
 class TrialPool {
@@ -50,8 +54,14 @@ class TrialPool {
   /// Invoke `fn(chunk_index)` once per index in [0, num_chunks); blocks
   /// until all chunks completed, then rethrows the first captured
   /// exception, if any.  Not reentrant.
-  void run(std::size_t num_chunks,
-           const std::function<void(std::size_t)>& fn);
+  ///
+  /// With a telemetry `probe`, each worker measures its own busy time
+  /// (inside `fn`), claim-path wait and chunks claimed, and reports them
+  /// in ONE `worker_drained` call when it exhausts the queue — per run,
+  /// not per chunk, so instrumentation never touches the claim loop's
+  /// scaling.  Without a probe (default) no clocks are read at all.
+  void run(std::size_t num_chunks, const std::function<void(std::size_t)>& fn,
+           obs::telemetry::PoolProbe* probe = nullptr);
 
  private:
   void worker_loop(std::size_t worker_index);
@@ -69,6 +79,7 @@ class TrialPool {
 
   // State of the current `run` call (stable while workers are active).
   const std::function<void(std::size_t)>* fn_ = nullptr;
+  obs::telemetry::PoolProbe* probe_ = nullptr;
   std::size_t num_chunks_ = 0;
   std::atomic<std::size_t> next_chunk_{0};
   std::size_t active_ = 0;  ///< workers still in the current generation

@@ -7,21 +7,15 @@ CounterRegistry& CounterRegistry::global() {
   return instance;
 }
 
-std::atomic<std::uint64_t>& CounterRegistry::cell(std::string_view name) {
+telemetry::Counter& CounterRegistry::cell(std::string_view name) {
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
-  // C++20 value-initializes the atomic to 0.  The map is node-based, so
-  // the cell's address stays valid across later insertions — the
-  // stability CounterCell handles rely on.
+  // The map is node-based, so the cell's address stays valid across
+  // later insertions — the stability CounterCell handles rely on.
   return counters_.emplace(std::piecewise_construct,
                            std::forward_as_tuple(name),
                            std::forward_as_tuple())
       .first->second;
-}
-
-std::atomic<std::uint64_t>& CounterRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cell(name);
 }
 
 CounterCell CounterRegistry::handle(std::string_view name) {
@@ -31,22 +25,20 @@ CounterCell CounterRegistry::handle(std::string_view name) {
 
 void CounterRegistry::add(std::string_view name, std::uint64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
-  cell(name).fetch_add(delta, std::memory_order_relaxed);
+  cell(name).add(delta);
 }
 
 std::uint64_t CounterRegistry::value(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
-  return it == counters_.end()
-             ? 0
-             : it->second.load(std::memory_order_relaxed);
+  return it == counters_.end() ? 0 : it->second.value();
 }
 
 void CounterRegistry::add_duration(std::string_view name, std::uint64_t ns) {
   std::string key(name);
   std::lock_guard<std::mutex> lock(mu_);
-  cell(key + ".ns").fetch_add(ns, std::memory_order_relaxed);
-  cell(key + ".calls").fetch_add(1, std::memory_order_relaxed);
+  cell(key + ".ns").add(ns);
+  cell(key + ".calls").add(1);
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot()
@@ -55,7 +47,7 @@ std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot()
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, value] : counters_) {
-    out.emplace_back(name, value.load(std::memory_order_relaxed));
+    out.emplace_back(name, value.value());
   }
   return out;
 }

@@ -8,29 +8,31 @@
 /// Free-form counters (`registry.add("engine.runs", 1)`) share the same
 /// namespace, so one report covers both.
 ///
-/// Thread-safety: counter cells are atomics living in a node-based map,
-/// so the registry distinguishes two cost tiers:
+/// Thread-safety: counters are the per-thread-sharded
+/// `telemetry::Counter` cells living in a node-based map, so every
+/// operation is safe from concurrent trial workers (exec::TrialPool) on
+/// the shared `global()` instance — including hammering one counter from
+/// every worker at once, which lands on distinct cache-line-private
+/// shards.  The registry distinguishes two cost tiers:
 ///
 ///  * `add` / `add_duration` / `value` lock the map mutex only to find
-///    (or insert) the cell, then update it atomically — safe from
-///    concurrent trial workers (exec::TrialPool) on the shared
-///    `global()` instance.  Counter *sums* commute, so count-type
-///    counters stay deterministic under parallel execution (the `.ns`
-///    wall-clock totals never were, and are excluded from the bench
-///    regression diff).
+///    (or insert) the cell, then update it shard-locally.  Counter *sums*
+///    commute, so count-type counters stay deterministic under parallel
+///    execution (the `.ns` wall-clock totals never were, and are
+///    excluded from the bench regression diff).
 ///  * `handle(name)` resolves the cell *once* and returns a
-///    `CounterCell` whose `add()` is a single relaxed `fetch_add` — no
-///    lock, no string lookup.  This is the form for hot paths (sinks,
-///    per-slot loops).  Handles stay valid until `clear()`, which is
-///    documented to invalidate them.
+///    `CounterCell` whose `add()` is a single relaxed `fetch_add` into
+///    the calling thread's shard — no lock, no string lookup.  This is
+///    the form for hot paths (sinks, per-slot loops).  Handles stay
+///    valid until `clear()`, which is documented to invalidate them.
 ///
-/// `counter()` hands out a raw reference to the underlying atomic and
-/// remains only for single-threaded reporting/tests; new call sites
-/// should use `add` (occasional) or `handle` (hot).
+/// (Historical note: the registry once exposed `counter()`, a raw
+/// reference to a bare atomic "for single-threaded reporting only".
+/// That footgun is gone — sharded cells have no single atomic to hand
+/// out, and every remaining entry point is safe under concurrency.)
 
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -41,6 +43,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 namespace urn::obs {
 
 /// A resolved counter cell: lock-free increments without re-hashing the
@@ -50,18 +54,18 @@ namespace urn::obs {
 class CounterCell {
  public:
   CounterCell() = default;
-  explicit CounterCell(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+  explicit CounterCell(telemetry::Counter* cell) : cell_(cell) {}
 
   void add(std::uint64_t delta) {
-    if (cell_ != nullptr) cell_->fetch_add(delta, std::memory_order_relaxed);
+    if (cell_ != nullptr) cell_->add(delta);
   }
   [[nodiscard]] std::uint64_t value() const {
-    return cell_ != nullptr ? cell_->load(std::memory_order_relaxed) : 0;
+    return cell_ != nullptr ? cell_->value() : 0;
   }
   [[nodiscard]] bool attached() const { return cell_ != nullptr; }
 
  private:
-  std::atomic<std::uint64_t>* cell_ = nullptr;
+  telemetry::Counter* cell_ = nullptr;
 };
 
 /// Ordered name → value counter map (see file comment for the
@@ -75,18 +79,11 @@ class CounterRegistry {
   CounterRegistry(const CounterRegistry&) = delete;
   CounterRegistry& operator=(const CounterRegistry&) = delete;
 
-  /// Value cell for `name`, created at 0 on first use.  For
-  /// single-threaded reporting and tests only — concurrent code must go
-  /// through `add` or a `handle` (the returned reference is the bare
-  /// atomic; nothing stops a caller from non-atomic read-modify-write
-  /// idioms around it).
-  std::atomic<std::uint64_t>& counter(std::string_view name);
-
   /// Resolve `name` once and return a lock-free increment handle (the
   /// hot-path form; see file comment).  Invalidated by `clear()`.
   [[nodiscard]] CounterCell handle(std::string_view name);
 
-  /// Atomically add `delta` to `name` (thread-safe).
+  /// Add `delta` to `name` (thread-safe, shard-local).
   void add(std::string_view name, std::uint64_t delta);
 
   /// Read-only lookup; 0 if absent.
@@ -103,19 +100,19 @@ class CounterRegistry {
   /// Print `name value` lines (durations rendered in ms alongside ns).
   void report(std::FILE* out) const;
 
-  /// Drop every counter.  Invalidates all `CounterCell` handles and
-  /// `counter()` references handed out so far.
+  /// Drop every counter.  Invalidates all `CounterCell` handles handed
+  /// out so far.
   void clear();
   [[nodiscard]] bool empty() const;
 
  private:
   /// Lookup-or-insert without locking; callers hold `mu_`.
-  std::atomic<std::uint64_t>& cell(std::string_view name);
+  telemetry::Counter& cell(std::string_view name);
 
   mutable std::mutex mu_;
   /// Node-based map: cell addresses are stable across insertions, which
   /// is what makes `CounterCell` handles safe to cache.
-  std::map<std::string, std::atomic<std::uint64_t>, std::less<>> counters_;
+  std::map<std::string, telemetry::Counter, std::less<>> counters_;
 };
 
 /// RAII wall-clock timer; records into the registry on destruction.

@@ -11,9 +11,12 @@
 /// without invalidating old baselines).  Numeric values compare within
 /// `abs_tol + rel_tol·|baseline|`; everything else must match exactly.
 /// Keys containing any `skip_substrings` entry are excluded.  The default
-/// covers ".ns" (wall-clock profile counters — the only nondeterministic
-/// fields in a fixed-seed run) and "jobs" (the worker-thread count, an
-/// environment fact that never affects the measured statistics).  Keys
+/// covers ".ns" (wall-clock profile counters — nondeterministic even in a
+/// fixed-seed run), "jobs" (the worker-thread count, an environment fact
+/// that never affects the measured statistics), and "telemetry." (live
+/// telemetry exports: a mix of deterministic counts, wall-clock totals
+/// and scheduling-dependent pool utilization — reported for humans, never
+/// gated on, so telemetry-enabled bench runs can't flake the gate).  Keys
 /// containing a `rate_substrings` entry (default ".noderate.", the
 /// whole-run throughput family) form a third class between "exact" and
 /// "skipped": present-and-numeric is required, and an optional one-sided
@@ -57,7 +60,7 @@ struct DiffOptions {
   double rel_tol = 0.0;  ///< allowed |fresh-base| relative to |base|
   double abs_tol = 0.0;  ///< allowed absolute drift
   /// Keys containing any of these substrings are not compared.
-  std::vector<std::string> skip_substrings = {".ns", "jobs"};
+  std::vector<std::string> skip_substrings = {".ns", "jobs", "telemetry."};
   /// Keys containing any of these substrings are *rates* (throughput
   /// measurements such as node-slots/s): legitimately machine- and
   /// load-dependent, so exact comparison is meaningless, but silently

@@ -47,6 +47,7 @@
 #include "obs/event.hpp"
 #include "obs/sink.hpp"
 #include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "radio/message.hpp"
 #include "radio/wakeup.hpp"
 #include "support/check.hpp"
@@ -121,8 +122,11 @@ struct MediumOptions {
 /// The slotted-medium engine; owns the per-node protocol instances.
 /// Holds the graph **by reference** (hot-loop performance): the graph must
 /// outlive the engine.  `S` is the event sink; the default `obs::NullSink`
-/// compiles all tracing away.
-template <NodeProtocol P, obs::EventSink S = obs::NullSink>
+/// compiles all tracing away.  `T` is the telemetry probe
+/// (`obs::telemetry::EngineProbe`); the default `NullEngineProbe` compiles
+/// the per-slot aggregate sampling away the same way.
+template <NodeProtocol P, obs::EventSink S = obs::NullSink,
+          typename T = obs::telemetry::NullEngineProbe>
 class Engine {
  public:
   /// \pre nodes.size() == g.num_nodes() == schedule.size()
@@ -173,6 +177,14 @@ class Engine {
   /// so the untraced hot loop stays untouched.
   void set_span_sink(obs::SpanSink* spans) { spans_ = spans; }
 
+  /// Attach a telemetry probe: each slot then feeds one aggregate
+  /// `SlotSample` (counts only — no events, no RNG use) to the probe.
+  /// Only meaningful on probe-enabled instantiations; with the default
+  /// `NullEngineProbe` the sampling sites compile away.  The probe must
+  /// outlive the engine.  `run()` brackets execution with
+  /// `begin_run`/`end_run`; step()-driven users bracket it themselves.
+  void set_telemetry(T* probe) { probe_ = probe; }
+
   /// The track id engine phase spans are recorded under.
   static constexpr std::uint32_t kSpanTrack = 0;
 
@@ -180,6 +192,23 @@ class Engine {
   void step() {
     const Slot now = slot_;
     const std::uint64_t ts_wake = span_now();
+
+    // Telemetry baselines for this slot's deltas (dead locals on
+    // probe-disabled instantiations; the optimizer drops them).
+    [[maybe_unused]] std::size_t probe_wakes_before = 0;
+    [[maybe_unused]] std::size_t probe_pending_before = 0;
+    [[maybe_unused]] std::uint64_t probe_deliveries_before = 0;
+    [[maybe_unused]] std::uint64_t probe_collisions_before = 0;
+    [[maybe_unused]] std::uint64_t probe_dropped_before = 0;
+    if constexpr (T::kEnabled) {
+      if (probe_ != nullptr) {
+        probe_wakes_before = next_wake_;
+        probe_pending_before = pending_live_;
+        probe_deliveries_before = stats_.deliveries;
+        probe_collisions_before = stats_.collisions;
+        probe_dropped_before = stats_.dropped;
+      }
+    }
 
     // (1) Wake due nodes.  A node deactivated before its wake slot still
     // wakes (events + on_wake fire, matching the pre-compaction engine)
@@ -310,6 +339,22 @@ class Engine {
 
     ++slot_;
     stats_.slots_run = slot_;
+
+    if constexpr (T::kEnabled) {
+      if (probe_ != nullptr) {
+        obs::telemetry::SlotSample s;
+        s.slots = 1;
+        s.active = awake_list_.size();
+        s.wakes = next_wake_ - probe_wakes_before;
+        s.decisions = probe_pending_before - pending_live_;
+        s.transmissions = transmitters_.size();
+        s.deliveries = stats_.deliveries - probe_deliveries_before;
+        s.collisions = stats_.collisions - probe_collisions_before;
+        s.drops = stats_.dropped - probe_dropped_before;
+        s.undecided = undecided_list_.size();
+        probe_->on_slot(s);
+      }
+    }
   }
 
   /// Run until every node is awake and has decided, or `max_slots` elapse.
@@ -323,12 +368,25 @@ class Engine {
   /// after one more step via `all_decided`.
   RunStats run(Slot max_slots) {
     URN_CHECK(max_slots > 0);
+    if constexpr (T::kEnabled) {
+      if (probe_ != nullptr) probe_->begin_run();
+    }
     while (slot_ < max_slots) {
       if (awake_list_.empty() && next_wake_ < wake_order_.size()) {
         const Slot next = schedule_.wake_slot(wake_order_[next_wake_]);
         if (next > slot_) {
-          slot_ = next < max_slots ? next : max_slots;
+          const Slot jumped = (next < max_slots ? next : max_slots) - slot_;
+          slot_ += jumped;
           stats_.slots_run = slot_;
+          if constexpr (T::kEnabled) {
+            // Fast-forwarded slots still count toward engine.slots so
+            // the exported total matches stats_.slots_run exactly.
+            if (probe_ != nullptr && jumped > 0) {
+              obs::telemetry::SlotSample s;
+              s.slots = static_cast<std::uint64_t>(jumped);
+              probe_->on_slot(s);
+            }
+          }
           if (slot_ >= max_slots) break;
         }
       }
@@ -337,6 +395,9 @@ class Engine {
     }
     stats_.all_decided = all_decided();
     flush();
+    if constexpr (T::kEnabled) {
+      if (probe_ != nullptr) probe_->end_run();
+    }
     return stats_;
   }
 
@@ -458,6 +519,7 @@ class Engine {
   Rng medium_rng_;
   S* sink_;
   obs::SpanSink* spans_ = nullptr;  ///< wall-clock phase spans (optional)
+  T* probe_ = nullptr;              ///< telemetry probe (optional)
   std::vector<Rng> rngs_;
 
   Slot slot_ = 0;

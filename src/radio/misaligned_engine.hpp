@@ -44,7 +44,8 @@
 
 namespace urn::radio {
 
-template <NodeProtocol P, obs::EventSink S = obs::NullSink>
+template <NodeProtocol P, obs::EventSink S = obs::NullSink,
+          typename T = obs::telemetry::NullEngineProbe>
 class MisalignedEngine {
  public:
   /// \param offsets per-node phase offset in half-slots (each 0 or 1)
@@ -97,10 +98,32 @@ class MisalignedEngine {
     return offsets;
   }
 
+  /// Attach a telemetry probe (see Engine::set_telemetry; one aggregate
+  /// sample per half-slot, local-slot counts in `slots`).  Compiled away
+  /// for the default `NullEngineProbe`.
+  void set_telemetry(T* probe) { probe_ = probe; }
+
   /// Advance one global half-slot.
   void step_half() {
     const std::int64_t h = half_;
     const std::size_t parity = static_cast<std::size_t>(h & 1);
+
+    [[maybe_unused]] std::size_t probe_woken_before = 0;
+    [[maybe_unused]] std::size_t probe_undecided_before = 0;
+    [[maybe_unused]] std::uint64_t probe_tx_before = 0;
+    [[maybe_unused]] std::uint64_t probe_deliveries_before = 0;
+    [[maybe_unused]] std::uint64_t probe_collisions_before = 0;
+    [[maybe_unused]] Slot probe_slots_before = 0;
+    if constexpr (T::kEnabled) {
+      if (probe_ != nullptr) {
+        probe_woken_before = woken_;
+        probe_undecided_before = undecided_;
+        probe_tx_before = stats_.transmissions;
+        probe_deliveries_before = stats_.deliveries;
+        probe_collisions_before = stats_.collisions;
+        probe_slots_before = stats_.slots_run;
+      }
+    }
 
     // (1) Nodes whose local slot starts at this half run their protocol.
     // All parity-p nodes share the same local slot at half h: (h - p)/2.
@@ -200,6 +223,26 @@ class MisalignedEngine {
 
     ++half_;
     stats_.slots_run = half_ / 2;
+
+    if constexpr (T::kEnabled) {
+      if (probe_ != nullptr) {
+        obs::telemetry::SlotSample s;
+        s.slots = static_cast<std::uint64_t>(stats_.slots_run -
+                                             probe_slots_before);
+        if (h >= static_cast<std::int64_t>(parity)) {
+          s.active = awake_list_[parity].size();
+        }
+        s.wakes = woken_ - probe_woken_before;
+        s.decisions = probe_undecided_before - undecided_;
+        s.transmissions = stats_.transmissions - probe_tx_before;
+        s.deliveries = stats_.deliveries - probe_deliveries_before;
+        s.collisions = stats_.collisions - probe_collisions_before;
+        // Awake-but-undecided population: undecided_ counts every node
+        // without a decision, including the still-sleeping ones.
+        s.undecided = woken_ - (nodes_.size() - undecided_);
+        probe_->on_slot(s);
+      }
+    }
   }
 
   /// Run until every node is awake and decided, or the local-slot cap.
@@ -210,6 +253,9 @@ class MisalignedEngine {
   /// half.  Requires a pending wake, exactly like Engine::run.
   RunStats run(Slot max_local_slots) {
     URN_CHECK(max_local_slots > 0);
+    if constexpr (T::kEnabled) {
+      if (probe_ != nullptr) probe_->begin_run();
+    }
     const std::int64_t half_cap = 2 * max_local_slots + 2;
     while (half_ < half_cap) {
       if (awake_list_[0].empty() && awake_list_[1].empty() &&
@@ -224,8 +270,19 @@ class MisalignedEngine {
           }
         }
         if (next > half_) {
+          [[maybe_unused]] const Slot slots_before = stats_.slots_run;
           half_ = std::min(next, half_cap);
           stats_.slots_run = half_ / 2;
+          if constexpr (T::kEnabled) {
+            // Fast-forwarded local slots still count toward engine.slots.
+            if (probe_ != nullptr && stats_.slots_run > slots_before) {
+              obs::telemetry::SlotSample s;
+              s.slots =
+                  static_cast<std::uint64_t>(stats_.slots_run - slots_before);
+              s.undecided = woken_ - (nodes_.size() - undecided_);
+              probe_->on_slot(s);
+            }
+          }
           if (half_ >= half_cap) break;
         }
       }
@@ -234,6 +291,9 @@ class MisalignedEngine {
     }
     stats_.all_decided = all_decided();
     flush();
+    if constexpr (T::kEnabled) {
+      if (probe_ != nullptr) probe_->end_run();
+    }
     return stats_;
   }
 
@@ -307,6 +367,7 @@ class MisalignedEngine {
   std::vector<P> nodes_;
   std::vector<std::uint8_t> offsets_;
   S* sink_ = nullptr;
+  T* probe_ = nullptr;  ///< telemetry probe (optional)
   std::vector<Rng> rngs_;
 
   std::int64_t half_ = 0;

@@ -496,9 +496,9 @@ TEST(TracedRunner, MetricsOnlyNeedsNoFile) {
 
 TEST(Profiling, CountersAccumulateAndSnapshotSorted) {
   CounterRegistry reg;
-  reg.counter("b.two") += 2;
-  reg.counter("a.one") += 1;
-  reg.counter("b.two") += 3;
+  reg.add("b.two", 2);
+  reg.add("a.one", 1);
+  reg.add("b.two", 3);
   EXPECT_EQ(reg.value("b.two"), 5u);
   EXPECT_EQ(reg.value("a.one"), 1u);
   EXPECT_EQ(reg.value("absent"), 0u);

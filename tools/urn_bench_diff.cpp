@@ -5,8 +5,9 @@
 /// The bench binaries emit flat `BENCH_<name>.json` documents when the
 /// `URN_BENCH_JSON` environment variable names a directory.  Runs are
 /// fixed-seed and bit-reproducible, so the default comparison is exact;
-/// wall-clock profile counters (keys containing ".ns") are skipped by
-/// default, and `--rel-tol` / `--abs-tol` open per-metric tolerances for
+/// wall-clock profile counters (keys containing ".ns"), the worker-thread
+/// count ("jobs") and live-telemetry exports ("telemetry.") are skipped
+/// by default, and `--rel-tol` / `--abs-tol` open per-metric tolerances for
 /// intentionally noisy metrics.  Throughput keys (default substring
 /// ".noderate.") form a rate class: they must be present and numeric but
 /// are never compared exactly — `--rate-tol 0.3` additionally fails a
@@ -83,10 +84,10 @@ int main(int argc, char** argv) {
                    "allowed relative drift per numeric metric");
   flags.add_double("abs-tol", 0.0,
                    "allowed absolute drift per numeric metric");
-  flags.add_string("skip", ".ns,jobs",
+  flags.add_string("skip", ".ns,jobs,telemetry.",
                    "comma-separated key substrings to skip (wall-clock "
-                   "counters and the worker-thread count by default; "
-                   "empty = compare everything)");
+                   "counters, the worker-thread count and live-telemetry "
+                   "exports by default; empty = compare everything)");
   flags.add_string("rate-keys", ".noderate.",
                    "comma-separated key substrings treated as throughput "
                    "rates: must be present and numeric, never compared "
