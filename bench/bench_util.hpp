@@ -28,7 +28,12 @@
 ///    telemetry subsystem (obs/telemetry.hpp): engine and pool probes
 ///    feed the global registry, and a background snapshotter exports it
 ///    as a JSONL time series (`urn_top` tails it) and/or a Prometheus
-///    exposition file while the experiment runs.
+///    exposition file while the experiment runs.  The `--postmortem-dir`
+///    / `--checkpoint-every` / `--dump-on-violation` flags add postmortem
+///    checkpointing (obs/postmortem.hpp): the traced run periodically
+///    snapshots complete engine state into a bundle directory, and a
+///    monitored violation captures checkpoint + flight-recorder ring +
+///    monitor report together (inspect/resume with `urn_postmortem`).
 ///
 ///  * `ledger_record` / `ledger_emit` — feed each trial's `RunResult`
 ///    into an `obs::RunLedger` and export the percentile summaries
@@ -55,6 +60,7 @@
 #include "obs/chrome.hpp"
 #include "obs/ledger.hpp"
 #include "obs/monitor.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/profile.hpp"
 #include "obs/telemetry.hpp"
 #include "support/cli.hpp"
@@ -214,6 +220,9 @@ struct TraceArgs {
   std::string telemetry_out;   ///< --telemetry-out: JSONL snapshot stream
   std::string telemetry_prom;  ///< --telemetry-prom: Prometheus exposition
   std::int64_t telemetry_interval = 1000;  ///< --telemetry-interval (ms)
+  std::string postmortem_dir;        ///< --postmortem-dir: bundle directory
+  std::int64_t checkpoint_every = 0; ///< --checkpoint-every (slots; 0 = once)
+  bool dump_on_violation = false;    ///< --dump-on-violation: full bundle
 
   /// Global telemetry registry when --telemetry-out / --telemetry-prom is
   /// set, null otherwise.  Non-null turns on the engine/pool probes via
@@ -238,18 +247,34 @@ struct TraceArgs {
   [[nodiscard]] std::size_t resolved_jobs() const {
     return exec::resolve_jobs(jobs);
   }
+  /// Postmortem options assembled from the --postmortem-dir /
+  /// --checkpoint-every / --dump-on-violation flags.  Asking for either
+  /// checkpoints or violation dumps without naming a directory defaults
+  /// the bundle to ./postmortem.
+  [[nodiscard]] core::PostmortemOptions postmortem() const {
+    core::PostmortemOptions po;
+    po.dir = postmortem_dir;
+    if (po.dir.empty() && (checkpoint_every > 0 || dump_on_violation)) {
+      po.dir = "postmortem";
+    }
+    po.checkpoint_every = checkpoint_every;
+    po.dump_on_violation = dump_on_violation;
+    return po;
+  }
+
   /// Executor options for analysis::run_core_trials and friends.
   [[nodiscard]] analysis::TrialExecOptions exec() const {
     analysis::TrialExecOptions opts;
     opts.jobs = jobs;
     opts.spans = spans.get();
     opts.telemetry = telemetry;
+    opts.postmortem = postmortem();
     return opts;
   }
 
   [[nodiscard]] bool enabled() const {
     return monitor || !trace_path.empty() || !trace_bin_path.empty() ||
-           !metrics_path.empty();
+           !metrics_path.empty() || postmortem().enabled();
   }
   [[nodiscard]] core::TraceOptions options() const {
     core::TraceOptions opts;
@@ -261,6 +286,7 @@ struct TraceArgs {
     opts.monitor = monitor;
     opts.spans = spans.get();
     opts.telemetry = telemetry;
+    opts.postmortem = postmortem();
     return opts;
   }
 };
@@ -299,6 +325,17 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
                    "snapshot)");
   flags.add_int("telemetry-interval", 1000,
                 "telemetry snapshot period in milliseconds");
+  flags.add_string("postmortem-dir", "",
+                   "write a postmortem bundle (periodic checkpoint + "
+                   "flight-recorder ring + manifest) into this directory; "
+                   "inspect/resume with urn_postmortem");
+  flags.add_int("checkpoint-every", 0,
+                "checkpoint period in slots for the postmortem bundle "
+                "(0 = one snapshot at the start of the run)");
+  flags.add_bool("dump-on-violation", false,
+                 "capture a full postmortem bundle (checkpoint + ring + "
+                 "monitor report) when an invariant violation is detected; "
+                 "implies --monitor on the traced run");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
                  flags.usage(program).c_str());
@@ -323,6 +360,10 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
   args.telemetry_prom = flags.get_string("telemetry-prom");
   args.telemetry_interval =
       std::max<std::int64_t>(1, flags.get_int("telemetry-interval"));
+  args.postmortem_dir = flags.get_string("postmortem-dir");
+  args.checkpoint_every =
+      std::max<std::int64_t>(0, flags.get_int("checkpoint-every"));
+  args.dump_on_violation = flags.get_bool("dump-on-violation");
   // Fail on unwritable destinations now, not after the (often long)
   // aggregate loops have already run.
   for (const std::string& path :
@@ -335,6 +376,12 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
       std::exit(2);
     }
     std::fclose(f);
+  }
+  if (args.postmortem().enabled() &&
+      !obs::postmortem::ensure_dir(args.postmortem().dir)) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 args.postmortem().dir.c_str());
+    std::exit(2);
   }
   if (!args.spans_path.empty()) {
     const std::string out = args.spans_path;
@@ -403,7 +450,13 @@ inline core::RunResult run_traced(const TraceArgs& args,
   if (run.monitor.has_value()) {
     if (!run.monitor->ok()) {
       std::fprintf(stderr, "monitor: INVARIANT VIOLATIONS\n");
+      obs::print_first_violation(*run.monitor, stderr);
       obs::print_monitor_report(*run.monitor, stderr);
+      if (!run.bundle.empty()) {
+        std::fprintf(stderr,
+                     "postmortem bundle: %s (inspect with urn_postmortem)\n",
+                     run.bundle.c_str());
+      }
       std::exit(2);
     }
     std::printf("(monitor: %llu events, %zu nodes, 0 violations)\n",

@@ -18,6 +18,7 @@
 #include "core/tdma.hpp"
 #include "exec/chunk.hpp"
 #include "exec/parallel.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/telemetry.hpp"
 #include "geom/spatial_grid.hpp"
 #include "graph/generators.hpp"
@@ -126,6 +127,17 @@ int main(int argc, char** argv) {
                    "every telemetry snapshot");
   flags.add_int("telemetry-interval", 1000,
                 "telemetry snapshot period in milliseconds");
+  flags.add_string("postmortem-dir", "",
+                   "write per-trial postmortem bundles (checkpoint + "
+                   "flight-recorder ring + manifest) under this directory; "
+                   "inspect/resume with urn_postmortem");
+  flags.add_int("checkpoint-every", 0,
+                "checkpoint period in slots for the postmortem bundles "
+                "(0 = one snapshot at the start of each trial)");
+  flags.add_bool("dump-on-violation", false,
+                 "capture a full postmortem bundle (checkpoint + ring + "
+                 "monitor report) for a trial whose invariant monitor "
+                 "fires; implies --monitor");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
@@ -167,7 +179,19 @@ int main(int argc, char** argv) {
   trace.metrics = !flags.get_string("metrics-out").empty();
   trace.metrics_window =
       std::max<std::int64_t>(1, flags.get_int("metrics-window"));
-  const bool monitor = flags.get_bool("monitor");
+  // Postmortem bundles: each trial writes its own subdirectory
+  // (<dir>/trialNNNN) so the parallel trial loop never shares files.
+  core::PostmortemOptions postmortem;
+  postmortem.dir = flags.get_string("postmortem-dir");
+  postmortem.checkpoint_every =
+      std::max<std::int64_t>(0, flags.get_int("checkpoint-every"));
+  postmortem.dump_on_violation = flags.get_bool("dump-on-violation");
+  if (postmortem.dir.empty() &&
+      (postmortem.checkpoint_every > 0 || postmortem.dump_on_violation)) {
+    postmortem.dir = "postmortem";
+  }
+  const bool monitor =
+      flags.get_bool("monitor") || postmortem.dump_on_violation;
   const bool tracing =
       trace.metrics || !trace.events_jsonl.empty() || !trace.events_bin.empty();
   // Reject unwritable destinations up front rather than aborting mid-run.
@@ -182,6 +206,11 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::fclose(f);
+  }
+  if (postmortem.enabled() &&
+      !obs::postmortem::ensure_dir(postmortem.dir)) {
+    std::fprintf(stderr, "error: cannot write %s\n", postmortem.dir.c_str());
+    return 2;
   }
 
   const auto trials = static_cast<std::size_t>(flags.get_int("trials"));
@@ -226,6 +255,7 @@ int main(int argc, char** argv) {
     struct Violation {
       std::size_t trial;
       obs::MonitorReport report;
+      std::string bundle;  // postmortem bundle dir ("" when not captured)
     };
     std::optional<Violation> violation;
   };
@@ -242,8 +272,14 @@ int main(int argc, char** argv) {
             (tracing && t == 0) ? trace : core::TraceOptions{};
         topts.monitor = monitor;
         topts.telemetry = telemetry;
-        const bool use_traced =
-            monitor || telemetry != nullptr || (tracing && t == 0);
+        if (postmortem.enabled()) {
+          topts.postmortem = postmortem;
+          topts.postmortem.dir =
+              postmortem.dir + "/" + exec::trial_tag(t);
+          topts.postmortem.trial = t;
+        }
+        const bool use_traced = monitor || telemetry != nullptr ||
+                                postmortem.enabled() || (tracing && t == 0);
         const auto run =
             use_traced
                 ? core::run_coloring_traced(net.graph, params, schedule,
@@ -253,7 +289,8 @@ int main(int argc, char** argv) {
         if (run.monitor.has_value()) {
           acc.monitored_events += run.monitor->events_seen;
           if (!run.monitor->ok() && !acc.violation.has_value()) {
-            acc.violation = SimPartial::Violation{t, *run.monitor};
+            acc.violation = SimPartial::Violation{t, *run.monitor,
+                                                  run.bundle};
           }
         }
         if (run.check.valid()) ++acc.valid;
@@ -308,7 +345,13 @@ int main(int argc, char** argv) {
   if (sim.violation.has_value()) {
     std::fprintf(stderr, "trial %zu: INVARIANT VIOLATIONS\n",
                  sim.violation->trial);
+    obs::print_first_violation(sim.violation->report, stderr);
     obs::print_monitor_report(sim.violation->report, stderr);
+    if (!sim.violation->bundle.empty()) {
+      std::fprintf(stderr,
+                   "postmortem bundle: %s (inspect with urn_postmortem)\n",
+                   sim.violation->bundle.c_str());
+    }
     return 2;
   }
   if (tracing && sim.trial0.has_value()) {

@@ -72,6 +72,7 @@ void record_run(CoreAggregate& agg, const core::RunResult& run,
       agg.first_violation = std::move(fv);
     }
   }
+  if (!run.bundle.empty()) agg.bundles.push_back(run.bundle);
 }
 
 void record_run(CoreAggregate& agg, const core::RunResult& run) {
@@ -97,6 +98,7 @@ void CoreAggregate::merge(const CoreAggregate& other) {
        other.first_violation->trial < first_violation->trial)) {
     first_violation = other.first_violation;
   }
+  bundles.insert(bundles.end(), other.bundles.begin(), other.bundles.end());
 }
 
 CoreAggregate run_core_trials(const graph::Graph& g,
@@ -107,7 +109,8 @@ CoreAggregate run_core_trials(const graph::Graph& g,
   core::TraceOptions topts;
   topts.monitor = exec.monitor;
   topts.telemetry = exec.telemetry;
-  const bool traced = exec.monitor || exec.telemetry != nullptr;
+  const bool traced = exec.monitor || exec.telemetry != nullptr ||
+                      exec.postmortem.enabled();
   // One pool probe for the whole trial loop; per-run engine probes are
   // constructed inside run_coloring_traced (worker-local, like the
   // monitor sink — sharded counters make the shared registry safe).
@@ -125,9 +128,18 @@ CoreAggregate run_core_trials(const graph::Graph& g,
         // Monitored trials run on the sink-templated engine path; the
         // monitor sink is constructed per trial, so all monitor state is
         // worker-local.  Either way the RunResult is bit-identical.
+        // Postmortem trials redirect their bundle into a per-trial
+        // subdirectory so concurrent workers never share files.
+        core::TraceOptions trial_topts = topts;
+        if (exec.postmortem.enabled()) {
+          trial_topts.postmortem = exec.postmortem;
+          trial_topts.postmortem.dir =
+              exec.postmortem.dir + "/" + exec::trial_tag(t);
+          trial_topts.postmortem.trial = t;
+        }
         const core::RunResult run =
             traced ? core::run_coloring_traced(g, params, schedule,
-                                               trial_seed, topts,
+                                               trial_seed, trial_topts,
                                                exec.max_slots)
                    : core::run_coloring(g, params, schedule, trial_seed,
                                         exec.max_slots);

@@ -33,6 +33,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/params.hpp"
 #include "core/runner.hpp"
@@ -85,6 +86,12 @@ struct TrialExecOptions {
   /// never changes results — probes read counts, they never touch RNG
   /// streams.  Not owned; must outlive the call.
   obs::telemetry::Registry* telemetry = nullptr;
+  /// Postmortem checkpointing (core::PostmortemOptions).  When enabled,
+  /// `postmortem.dir` is treated as a *base* directory: trial t writes
+  /// its bundle under `<dir>/<exec::trial_tag(t)>/` so concurrent trials
+  /// never collide.  Checkpointed trials stay bit-identical (the
+  /// checkpointer only reads engine state).
+  core::PostmortemOptions postmortem;
 };
 
 /// Aggregates over `trials` independent protocol executions.
@@ -118,6 +125,9 @@ struct CoreAggregate {
   std::uint64_t monitor_events = 0;      ///< sum of events checked
   std::uint64_t monitor_violations = 0;  ///< sum over all invariants
   std::optional<FirstViolation> first_violation;
+  /// Postmortem bundle directories captured on violation, in trial order
+  /// (only with TrialExecOptions::postmortem + dump_on_violation).
+  std::vector<std::string> bundles;
 
   [[nodiscard]] bool monitor_ok() const { return monitor_violations == 0; }
 

@@ -167,4 +167,105 @@ std::int64_t ColoringNode::chi_of_competitors(Slot now) const {
   return chi(aged, critical_range_now());
 }
 
+// ---- postmortem checkpointing ---------------------------------------------
+
+namespace {
+/// Sanity cap on per-node container counts read from a checkpoint: a
+/// node's competitors/queue/served lists are bounded by its neighborhood,
+/// so anything this large marks a corrupt file, not a big run.
+constexpr std::uint32_t kMaxCheckpointList = 1u << 24;
+}  // namespace
+
+void ColoringNode::save_state(obs::postmortem::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(phase_));
+  w.boolean(active_);
+  w.u32(id_);
+  w.i32(color_index_);
+  w.i32(tc_);
+  w.i64(counter_);
+  w.i64(passive_remaining_);
+  w.u32(static_cast<std::uint32_t>(competitors_.size()));
+  for (const Competitor& c : competitors_) {
+    w.u32(c.who);
+    w.i64(c.value);
+    w.i64(c.stamp);
+  }
+  w.u32(leader_);
+  // RingQueue serialized front-to-back; push_back on load rebuilds the
+  // same FIFO order (buffer capacity is not observable state).
+  w.u32(static_cast<std::uint32_t>(queue_.size()));
+  for (std::size_t i = 0; i < queue_.size(); ++i) w.u32(queue_.at(i));
+  w.u32(static_cast<std::uint32_t>(served_.size()));
+  for (const NodeId v : served_) w.u32(v);
+  w.i32(next_tc_);
+  w.i64(serve_remaining_);
+  w.i32(serve_tc_);
+  w.u32(stats_.resets);
+  w.u32(stats_.verify_states);
+  w.u32(stats_.assignments_heard);
+  w.u32(stats_.duplicate_serves);
+  w.u32(static_cast<std::uint32_t>(transitions_.size()));
+  for (const Transition& t : transitions_) {
+    w.i64(t.slot);
+    w.u8(static_cast<std::uint8_t>(t.phase));
+    w.i32(t.color_index);
+  }
+}
+
+bool ColoringNode::load_state(obs::postmortem::Reader& r) {
+  const std::uint8_t phase = r.u8();
+  if (phase > static_cast<std::uint8_t>(Phase::kDecided)) return false;
+  phase_ = static_cast<Phase>(phase);
+  active_ = r.boolean();
+  if (r.u32() != id_) return false;  // checkpoint applied to wrong node
+  color_index_ = r.i32();
+  tc_ = r.i32();
+  counter_ = r.i64();
+  passive_remaining_ = r.i64();
+
+  const std::uint32_t n_comp = r.u32();
+  if (!r.ok() || n_comp > kMaxCheckpointList) return false;
+  competitors_.clear();
+  for (std::uint32_t i = 0; i < n_comp; ++i) {
+    Competitor c;
+    c.who = r.u32();
+    c.value = r.i64();
+    c.stamp = r.i64();
+    competitors_.push_back(c);
+  }
+  leader_ = r.u32();
+
+  const std::uint32_t n_queue = r.u32();
+  if (!r.ok() || n_queue > kMaxCheckpointList) return false;
+  queue_.clear();
+  for (std::uint32_t i = 0; i < n_queue; ++i) queue_.push_back(r.u32());
+
+  const std::uint32_t n_served = r.u32();
+  if (!r.ok() || n_served > kMaxCheckpointList) return false;
+  served_.clear();
+  served_.reserve(n_served);
+  for (std::uint32_t i = 0; i < n_served; ++i) served_.push_back(r.u32());
+
+  next_tc_ = r.i32();
+  serve_remaining_ = r.i64();
+  serve_tc_ = r.i32();
+  stats_.resets = r.u32();
+  stats_.verify_states = r.u32();
+  stats_.assignments_heard = r.u32();
+  stats_.duplicate_serves = r.u32();
+
+  const std::uint32_t n_trans = r.u32();
+  if (!r.ok() || n_trans > kMaxTransitions) return false;
+  transitions_.clear();
+  transitions_.reserve(n_trans);
+  for (std::uint32_t i = 0; i < n_trans; ++i) {
+    Transition t;
+    t.slot = r.i64();
+    t.phase = static_cast<Phase>(r.u8());
+    t.color_index = r.i32();
+    transitions_.push_back(t);
+  }
+  return r.ok();
+}
+
 }  // namespace urn::core

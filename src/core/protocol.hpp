@@ -131,6 +131,17 @@ class ColoringNode {
   /// Transition-log capacity; a well-behaved run needs ≤ κ₂ + 3 entries.
   static constexpr std::size_t kMaxTransitions = 256;
 
+  // --- postmortem checkpointing -------------------------------------------
+
+  /// Serialize every mutable protocol field (the Params-derived caches
+  /// are reconstructed by the constructor from the scenario and are
+  /// skipped).  Layout is part of the URNC checkpoint format.
+  void save_state(obs::postmortem::Writer& w) const;
+
+  /// Restore fields written by `save_state` into a node constructed with
+  /// the same (params, id).  Returns false on a truncated/corrupt buffer.
+  [[nodiscard]] bool load_state(obs::postmortem::Reader& r);
+
  private:
   /// A locally stored competitor counter d_v(w): `value` as of `stamp`,
   /// aged by +1 per slot (Alg. 1 l. 5/18), evaluated lazily.

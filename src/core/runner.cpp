@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 
+#include "core/checkpoint.hpp"
 #include "obs/bintrace.hpp"
 #include "obs/profile.hpp"
 #include "obs/sink.hpp"
@@ -42,11 +44,13 @@ namespace {
 /// this with the zero-overhead NullSink instantiation; the traced variant
 /// with a real sink.
 template <obs::EventSink S,
-          typename T = obs::telemetry::NullEngineProbe>
+          typename T = obs::telemetry::NullEngineProbe,
+          typename C = obs::postmortem::NullCheckpointer>
 RunResult run_impl(const graph::Graph& g, const Params& params,
                    const radio::WakeSchedule& schedule, std::uint64_t seed,
                    Slot max_slots, radio::MediumOptions medium, S* sink,
-                   obs::SpanSink* spans = nullptr, T* probe = nullptr) {
+                   obs::SpanSink* spans = nullptr, T* probe = nullptr,
+                   C* ckpt = nullptr) {
   params.validate();
   URN_CHECK(schedule.size() == g.num_nodes());
   if (max_slots == 0) max_slots = default_slot_budget(params, schedule);
@@ -58,49 +62,32 @@ RunResult run_impl(const graph::Graph& g, const Params& params,
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     nodes.emplace_back(&params, v);
   }
-  radio::Engine<ColoringNode, S, T> engine(g, schedule, std::move(nodes),
-                                           seed, medium, sink);
+  radio::Engine<ColoringNode, S, T, C> engine(g, schedule, std::move(nodes),
+                                              seed, medium, sink);
   engine.set_span_sink(spans);
   if constexpr (T::kEnabled) {
     engine.set_telemetry(probe);
   }
+  if constexpr (C::kEnabled) {
+    engine.set_checkpointer(ckpt);
+  }
   const radio::RunStats stats = engine.run(max_slots);
 
-  RunResult result;
-  result.medium = stats;
-  result.all_decided = stats.all_decided;
-  result.colors.resize(g.num_nodes(), graph::kUncolored);
-  result.wake_slot.resize(g.num_nodes());
-  result.decision_slot.resize(g.num_nodes());
-  result.leader_of.resize(g.num_nodes(), graph::kInvalidNode);
-  result.intra_cluster.resize(g.num_nodes(), -1);
-
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    const ColoringNode& node = engine.node(v);
-    result.wake_slot[v] = schedule.wake_slot(v);
-    result.decision_slot[v] = engine.decision_slot(v);
-    result.colors[v] = node.color();
-    if (engine.decision_slot(v) !=
-        radio::Engine<ColoringNode, S, T>::kUndecided) {
-      result.latency.push_back(engine.decision_latency(v));
-      if constexpr (T::kEnabled) {
-        if (probe != nullptr) {
+  // The extraction lives in harvest_coloring so the checkpoint-resume
+  // path (core/checkpoint.cpp) produces field-for-field identical
+  // results by construction.
+  RunResult result = harvest_coloring(engine, g, schedule, stats);
+  if constexpr (T::kEnabled) {
+    if (probe != nullptr) {
+      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (engine.decision_slot(v) !=
+            radio::Engine<ColoringNode, S, T, C>::kUndecided) {
           probe->record_decision_latency(
               static_cast<std::uint64_t>(engine.decision_latency(v)));
         }
       }
     }
-    if (node.is_leader()) ++result.num_leaders;
-    result.leader_of[v] = node.leader();
-    result.intra_cluster[v] = node.intra_cluster_color();
-    result.total_resets += node.stats().resets;
-    result.max_verify_states =
-        std::max(result.max_verify_states, node.stats().verify_states);
-    result.duplicate_serves += node.stats().duplicate_serves;
   }
-
-  result.check = graph::validate(g, result.colors);
-  result.max_color = graph::max_color(result.colors);
 
   // Thread-safe `add`: run_impl executes concurrently under the trial
   // executor (exec::parallel_for_trials).
@@ -282,6 +269,116 @@ struct TraceSinks {
   }
 };
 
+namespace pm = obs::postmortem;
+
+/// Render the bundle's `manifest.json`: run identity, scenario shape, and
+/// which files the bundle contains.
+std::string manifest_json(const PostmortemOptions& po,
+                          const CheckpointScenario& s,
+                          const pm::Checkpointer& ckpt,
+                          const RunResult& result,
+                          const std::string& ring_path) {
+  std::string j = "{";
+  j += "\"format\":\"urn-postmortem-bundle\"";
+  j += ",\"checkpoint_version\":" + std::to_string(pm::kCkptVersion);
+  j += ",\"engine\":\"aligned\"";
+  j += ",\"trial\":" + std::to_string(po.trial);
+  j += ",\"seed\":" + std::to_string(s.seed);
+  j += ",\"nodes\":" + std::to_string(s.num_nodes);
+  j += ",\"edges\":" + std::to_string(s.edges.size());
+  j += ",\"max_slots\":" + std::to_string(s.max_slots);
+  j += ",\"drop_probability\":" + std::to_string(s.medium.drop_probability);
+  j += ",\"checkpoint_every\":" + std::to_string(po.checkpoint_every);
+  j += ",\"checkpoints_written\":" +
+       std::to_string(ckpt.checkpoints_written());
+  j += ",\"last_checkpoint_position\":" +
+       std::to_string(ckpt.last_position());
+  j += ",\"checkpoint_file\":\"" + pm::json_escape(ckpt.path()) + "\"";
+  j += ",\"ring_file\":\"" + pm::json_escape(ring_path) + "\"";
+  j += ",\"slots_run\":" + std::to_string(result.medium.slots_run);
+  j += std::string(",\"all_decided\":") +
+       (result.all_decided ? "true" : "false");
+  if (result.monitor) {
+    j += ",\"violations\":" +
+         std::to_string(result.monitor->total_violations());
+  }
+  j += "}\n";
+  return j;
+}
+
+/// The postmortem-enabled traced run: periodic checkpoints into the
+/// bundle directory, a flight-recorder ring there by default, a crash
+/// handler armed for the duration of the run, a manifest always, and the
+/// full bundle (monitor + telemetry snapshots) on invariant violation.
+RunResult run_coloring_postmortem(const graph::Graph& g, const Params& params,
+                                  const radio::WakeSchedule& schedule,
+                                  std::uint64_t seed,
+                                  const TraceOptions& trace, Slot max_slots,
+                                  radio::MediumOptions medium) {
+  const PostmortemOptions& po = trace.postmortem;
+  params.validate();
+  URN_CHECK(schedule.size() == g.num_nodes());
+  // Resolve the budget here: the checkpoint scenario must record the
+  // actual cap so a resumed run stops at the same slot.
+  if (max_slots == 0) max_slots = default_slot_budget(params, schedule);
+  URN_CHECK_MSG(pm::ensure_dir(po.dir),
+                "postmortem: cannot create bundle dir " << po.dir);
+
+  TraceOptions local = trace;
+  if (po.dump_on_violation) local.monitor = true;
+  if (local.events_bin.empty()) {
+    // Default flight recorder: a bounded ring inside the bundle.
+    local.events_bin = po.dir + "/" + pm::kRingFileName;
+    if (local.bin_ring == 0) local.bin_ring = 4096;
+  }
+
+  const CheckpointScenario scenario =
+      make_scenario(g, params, schedule, seed, max_slots, medium, po.trial);
+  pm::Checkpointer ckpt(po.dir + "/" + pm::kCkptFileName,
+                        pm::EngineKind::kAligned, po.checkpoint_every,
+                        render_scenario(scenario));
+
+  TraceSinks sinks(g, params, schedule, local);
+  pm::arm_crash_handler(po.dir);
+  if (sinks.bin) {
+    pm::set_crash_flush(
+        [](void* arg) { static_cast<obs::BinSink*>(arg)->flush(); },
+        &*sinks.bin);
+  }
+
+  RunResult result;
+  if (local.telemetry != nullptr) {
+    obs::telemetry::EngineProbe probe(*local.telemetry);
+    result = run_impl(g, params, schedule, seed, max_slots, medium,
+                      &*sinks.tee, local.spans, &probe, &ckpt);
+  } else {
+    result = run_impl<typename TraceSinks::Tee,
+                      obs::telemetry::NullEngineProbe, pm::Checkpointer>(
+        g, params, schedule, seed, max_slots, medium, &*sinks.tee,
+        local.spans, nullptr, &ckpt);
+  }
+  pm::set_crash_flush(nullptr, nullptr);
+  pm::disarm_crash_handler();
+  sinks.finish_into(result, result.medium.slots_run, local);
+  URN_CHECK_MSG(!ckpt.failed(),
+                "postmortem: checkpoint write failed under " << po.dir);
+
+  pm::write_text_file(po.dir + "/" + pm::kManifestFileName,
+                      manifest_json(po, scenario, ckpt, result,
+                                    local.events_bin));
+  if (po.dump_on_violation && result.monitor && !result.monitor->ok()) {
+    pm::write_text_file(po.dir + "/" + pm::kMonitorFileName,
+                        pm::monitor_report_json(*result.monitor));
+    if (local.telemetry != nullptr) {
+      pm::write_text_file(
+          po.dir + "/" + pm::kTelemetryFileName,
+          obs::telemetry::to_jsonl_line(local.telemetry->snapshot()));
+    }
+    result.bundle = po.dir;
+  }
+  return result;
+}
+
 }  // namespace
 
 obs::MonitorConfig make_monitor_config(const graph::Graph& g,
@@ -318,6 +415,10 @@ RunResult run_coloring_traced(const graph::Graph& g, const Params& params,
                               const radio::WakeSchedule& schedule,
                               std::uint64_t seed, const TraceOptions& trace,
                               Slot max_slots, radio::MediumOptions medium) {
+  if (trace.postmortem.enabled()) {
+    return run_coloring_postmortem(g, params, schedule, seed, trace,
+                                   max_slots, medium);
+  }
   if (trace.telemetry != nullptr) {
     obs::telemetry::EngineProbe probe(*trace.telemetry);
     if (TraceSinks::event_free(trace)) {

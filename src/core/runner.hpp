@@ -62,11 +62,41 @@ struct RunResult {
   std::uint64_t events_recorded = 0;
   /// Online invariant report; only populated with `TraceOptions::monitor`.
   std::optional<obs::MonitorReport> monitor;
+  /// Postmortem bundle directory; non-empty when a violation bundle was
+  /// captured (`PostmortemOptions::dump_on_violation` and the monitor
+  /// fired).
+  std::string bundle;
 
   /// Max T_v over decided nodes (0 if none).
   [[nodiscard]] Slot max_latency() const;
   /// Mean T_v over decided nodes (0 if none).
   [[nodiscard]] double mean_latency() const;
+};
+
+/// Postmortem checkpointing knobs for `run_coloring_traced`.  When `dir`
+/// is set the run writes a self-contained bundle directory: a versioned
+/// `checkpoint.urnc` (periodic when `checkpoint_every > 0`, else a single
+/// snapshot at the first slot), a flight-recorder binary event ring
+/// (`ring.bin`, unless `TraceOptions::events_bin` already points
+/// somewhere), and a `manifest.json`.  With `dump_on_violation` the
+/// invariant monitor is forced on and a violation additionally captures
+/// `monitor.json` (+ `telemetry.json` when a registry is attached) and
+/// reports the bundle in `RunResult::bundle`.  A fatal signal during the
+/// run leaves a `CRASH.txt` next to the flushed ring.
+struct PostmortemOptions {
+  /// Bundle directory (created if missing).  Empty = postmortem off.
+  std::string dir;
+  /// Checkpoint period in slots (0 = one snapshot at the first slot).
+  radio::Slot checkpoint_every = 0;
+  /// Capture a full bundle and fill `RunResult::bundle` when the
+  /// invariant monitor reports violations (implies
+  /// `TraceOptions::monitor`).
+  bool dump_on_violation = false;
+  /// Trial label recorded in the manifest (bundle naming under the
+  /// parallel executor uses `exec::trial_tag`).
+  std::uint64_t trial = 0;
+
+  [[nodiscard]] bool enabled() const { return !dir.empty(); }
 };
 
 /// Observability knobs for `run_coloring_traced`.  Everything defaults to
@@ -104,6 +134,10 @@ struct TraceOptions {
   /// sweep keeps its untraced throughput.  Not owned; must outlive the
   /// run.
   obs::telemetry::Registry* telemetry = nullptr;
+  /// Periodic checkpointing + violation bundle capture (see
+  /// `PostmortemOptions`).  Only honored by `run_coloring_traced`; the
+  /// leader-election entry points ignore it.
+  PostmortemOptions postmortem;
 };
 
 /// Build the full `obs::MonitorConfig` for a run on `g`: κ₂ and the

@@ -1,6 +1,7 @@
 #include "exec/chunk.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <thread>
 
 #include "support/check.hpp"
@@ -30,6 +31,12 @@ std::vector<TrialRange> chunk_plan(std::size_t trials, std::size_t chunk) {
     plan.push_back({begin, std::min(begin + chunk, trials)});
   }
   return plan;
+}
+
+std::string trial_tag(std::size_t trial) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "trial%04zu", trial);
+  return buf;
 }
 
 }  // namespace urn::exec

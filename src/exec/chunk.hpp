@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace urn::exec {
@@ -41,5 +42,11 @@ struct TrialRange {
 /// increasing order.  \pre chunk > 0 unless trials == 0.
 [[nodiscard]] std::vector<TrialRange> chunk_plan(std::size_t trials,
                                                  std::size_t chunk);
+
+/// Canonical per-trial label for artifact paths produced under the
+/// parallel executor (postmortem bundle subdirectories, per-trial logs):
+/// "trial0007" — zero-padded to four digits so lexicographic order is
+/// trial order for any realistic trial count.
+[[nodiscard]] std::string trial_tag(std::size_t trial);
 
 }  // namespace urn::exec

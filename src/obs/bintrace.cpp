@@ -221,6 +221,12 @@ ParsedBinFile read_bin_file(const std::string& path) {
   }
   const std::uint16_t version = get_u16(p + 4);
   const std::uint16_t record_size = get_u16(p + 6);
+  if (version > kBinVersion) {
+    out.error = path + ": binary trace version " + std::to_string(version) +
+                " is newer than this reader (max supported " +
+                std::to_string(kBinVersion) + ")";
+    return out;
+  }
   if (version != kBinVersion) {
     out.error = path + ": unsupported binary trace version " +
                 std::to_string(version);

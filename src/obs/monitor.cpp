@@ -34,6 +34,29 @@ void print_monitor_report(const MonitorReport& report, std::FILE* out) {
   }
 }
 
+const MonitorReport::PerInvariant* first_violation(
+    const MonitorReport& report, Invariant* which) {
+  const MonitorReport::PerInvariant* best = nullptr;
+  for (std::size_t i = 0; i < kNumInvariants; ++i) {
+    const MonitorReport::PerInvariant& p = report.invariants[i];
+    if (p.count == 0) continue;
+    if (best == nullptr || p.first_slot < best->first_slot) {
+      best = &p;
+      if (which != nullptr) *which = static_cast<Invariant>(i);
+    }
+  }
+  return best;
+}
+
+void print_first_violation(const MonitorReport& report, std::FILE* out) {
+  Invariant which{};
+  const MonitorReport::PerInvariant* first = first_violation(report, &which);
+  if (first == nullptr) return;
+  std::fprintf(out, "first violation: invariant=%s slot=%lld node=%u\n",
+               invariant_name(which),
+               static_cast<long long>(first->first_slot), first->first_node);
+}
+
 InvariantMonitorSink::NodeState& InvariantMonitorSink::state(NodeId v) {
   return nodes_.try_emplace(v, config_.kappa2).first->second;
 }

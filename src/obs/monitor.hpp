@@ -98,6 +98,17 @@ struct MonitorReport {
 /// urn_trace and the experiment binaries so the output stays uniform).
 void print_monitor_report(const MonitorReport& report, std::FILE* out);
 
+/// Earliest recorded violation across all invariants (lowest first_slot;
+/// invariant order breaks ties).  Returns nullptr when the report is
+/// clean; `which` (optional) receives the winning invariant.
+[[nodiscard]] const MonitorReport::PerInvariant* first_violation(
+    const MonitorReport& report, Invariant* which = nullptr);
+
+/// One-line, grep-friendly first-violation summary for exit-2 paths:
+///   `first violation: invariant=<name> slot=<s> node=<v>`
+/// No-op on a clean report.
+void print_first_violation(const MonitorReport& report, std::FILE* out);
+
 /// The online monitor.  Feed it a run's event stream (directly as an
 /// engine sink or by replaying a recorded log) and read `report()`.
 class InvariantMonitorSink {

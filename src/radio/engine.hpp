@@ -45,6 +45,7 @@
 
 #include "graph/graph.hpp"
 #include "obs/event.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/sink.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
@@ -124,9 +125,12 @@ struct MediumOptions {
 /// outlive the engine.  `S` is the event sink; the default `obs::NullSink`
 /// compiles all tracing away.  `T` is the telemetry probe
 /// (`obs::telemetry::EngineProbe`); the default `NullEngineProbe` compiles
-/// the per-slot aggregate sampling away the same way.
+/// the per-slot aggregate sampling away the same way.  `C` is the
+/// checkpointer (`obs::postmortem::Checkpointer`); the default
+/// `NullCheckpointer` compiles the run-loop checkpoint hook away.
 template <NodeProtocol P, obs::EventSink S = obs::NullSink,
-          typename T = obs::telemetry::NullEngineProbe>
+          typename T = obs::telemetry::NullEngineProbe,
+          typename C = obs::postmortem::NullCheckpointer>
 class Engine {
  public:
   /// \pre nodes.size() == g.num_nodes() == schedule.size()
@@ -184,6 +188,15 @@ class Engine {
   /// outlive the engine.  `run()` brackets execution with
   /// `begin_run`/`end_run`; step()-driven users bracket it themselves.
   void set_telemetry(T* probe) { probe_ = probe; }
+
+  /// Attach a postmortem checkpointer: `run()` then offers a snapshot at
+  /// the top of every loop iteration (the checkpointer decides whether
+  /// the period elapsed).  Only meaningful on checkpointer-enabled
+  /// instantiations; with the default `NullCheckpointer` the hook
+  /// compiles away.  Snapshots only read state, so a checkpointed run is
+  /// bit-identical to an unhooked one.  The checkpointer must outlive
+  /// the engine.
+  void set_checkpointer(C* ckpt) { ckpt_ = ckpt; }
 
   /// The track id engine phase spans are recorded under.
   static constexpr std::uint32_t kSpanTrack = 0;
@@ -372,6 +385,9 @@ class Engine {
       if (probe_ != nullptr) probe_->begin_run();
     }
     while (slot_ < max_slots) {
+      if constexpr (C::kEnabled) {
+        if (ckpt_ != nullptr) ckpt_->maybe_checkpoint(*this, slot_);
+      }
       if (awake_list_.empty() && next_wake_ < wake_order_.size()) {
         const Slot next = schedule_.wake_slot(wake_order_[next_wake_]);
         if (next > slot_) {
@@ -434,6 +450,87 @@ class Engine {
   [[nodiscard]] bool is_dead(NodeId v) const {
     URN_CHECK(v < status_.size());
     return (status_[v] & kDeadBit) != 0;
+  }
+
+  [[nodiscard]] bool is_awake(NodeId v) const {
+    URN_CHECK(v < status_.size());
+    return (status_[v] & kAwakeBit) != 0;
+  }
+
+  /// Serialize the complete engine state (a checkpoint's engine-state
+  /// section).  Everything a freshly constructed engine cannot
+  /// reconstruct from its constructor arguments is written: the slot
+  /// cursor, per-node status/decision arrays, live lists, wake cursor,
+  /// all RNG streams (medium + per-node), aggregate stats, and every
+  /// node's protocol state.  The per-slot scratch (tx_count_ / tx_stamp_
+  /// / tx_src_ / transmitters_ / touched_) is epoch-stamped and never
+  /// read across slot boundaries, so it is deliberately skipped — a
+  /// resumed engine's fresh scratch behaves identically.
+  void save_state(obs::postmortem::Writer& w) const {
+    w.u64(nodes_.size());
+    w.i64(slot_);
+    w.i64(stats_.slots_run);
+    w.u64(stats_.transmissions);
+    w.u64(stats_.deliveries);
+    w.u64(stats_.collisions);
+    w.u64(stats_.dropped);
+    w.boolean(stats_.all_decided);
+    obs::postmortem::write_rng(w, medium_rng_);
+    for (const std::uint8_t s : status_) w.u8(s);
+    for (const Slot s : decision_slot_) w.i64(s);
+    w.u64(awake_list_.size());
+    for (const NodeId v : awake_list_) w.u32(v);
+    w.u64(undecided_list_.size());
+    for (const NodeId v : undecided_list_) w.u32(v);
+    w.u64(next_wake_);
+    w.boolean(id_ordered_);
+    w.u64(pending_live_);
+    for (const Rng& r : rngs_) obs::postmortem::write_rng(w, r);
+    for (const P& node : nodes_) node.save_state(w);
+  }
+
+  /// Restore state written by `save_state` into a freshly constructed
+  /// engine (same graph, schedule, seed and medium — the scenario section
+  /// of the checkpoint carries them).  Returns false on a truncated or
+  /// inconsistent buffer; the engine must not be used after a failed
+  /// load.  After a successful load, `run()` continues the original run
+  /// bit-identically.
+  [[nodiscard]] bool load_state(obs::postmortem::Reader& r) {
+    if (r.u64() != nodes_.size()) return false;
+    slot_ = r.i64();
+    stats_.slots_run = r.i64();
+    stats_.transmissions = r.u64();
+    stats_.deliveries = r.u64();
+    stats_.collisions = r.u64();
+    stats_.dropped = r.u64();
+    stats_.all_decided = r.boolean();
+    if (!obs::postmortem::read_rng(r, medium_rng_)) return false;
+    for (std::uint8_t& s : status_) s = r.u8();
+    for (Slot& s : decision_slot_) s = r.i64();
+    const std::uint64_t n_awake = r.u64();
+    if (!r.ok() || n_awake > nodes_.size()) return false;
+    awake_list_.clear();
+    for (std::uint64_t i = 0; i < n_awake; ++i) {
+      awake_list_.push_back(static_cast<NodeId>(r.u32()));
+    }
+    const std::uint64_t n_undecided = r.u64();
+    if (!r.ok() || n_undecided > nodes_.size()) return false;
+    undecided_list_.clear();
+    for (std::uint64_t i = 0; i < n_undecided; ++i) {
+      undecided_list_.push_back(static_cast<NodeId>(r.u32()));
+    }
+    next_wake_ = static_cast<std::size_t>(r.u64());
+    if (next_wake_ > wake_order_.size()) return false;
+    id_ordered_ = r.boolean();
+    pending_live_ = static_cast<std::size_t>(r.u64());
+    if (pending_live_ > nodes_.size()) return false;
+    for (Rng& rng : rngs_) {
+      if (!obs::postmortem::read_rng(r, rng)) return false;
+    }
+    for (P& node : nodes_) {
+      if (!node.load_state(r)) return false;
+    }
+    return r.ok();
   }
 
   [[nodiscard]] Slot current_slot() const { return slot_; }
@@ -520,6 +617,7 @@ class Engine {
   S* sink_;
   obs::SpanSink* spans_ = nullptr;  ///< wall-clock phase spans (optional)
   T* probe_ = nullptr;              ///< telemetry probe (optional)
+  C* ckpt_ = nullptr;               ///< postmortem checkpointer (optional)
   std::vector<Rng> rngs_;
 
   Slot slot_ = 0;

@@ -45,7 +45,8 @@
 namespace urn::radio {
 
 template <NodeProtocol P, obs::EventSink S = obs::NullSink,
-          typename T = obs::telemetry::NullEngineProbe>
+          typename T = obs::telemetry::NullEngineProbe,
+          typename C = obs::postmortem::NullCheckpointer>
 class MisalignedEngine {
  public:
   /// \param offsets per-node phase offset in half-slots (each 0 or 1)
@@ -102,6 +103,12 @@ class MisalignedEngine {
   /// sample per half-slot, local-slot counts in `slots`).  Compiled away
   /// for the default `NullEngineProbe`.
   void set_telemetry(T* probe) { probe_ = probe; }
+
+  /// Attach a postmortem checkpointer (see Engine::set_checkpointer).
+  /// Positions handed to the checkpointer are **global half-slots**, the
+  /// engine's native cursor — a `--checkpoint-every` in local slots maps
+  /// to `2 * every` halves.  Compiled away for `NullCheckpointer`.
+  void set_checkpointer(C* ckpt) { ckpt_ = ckpt; }
 
   /// Advance one global half-slot.
   void step_half() {
@@ -258,6 +265,9 @@ class MisalignedEngine {
     }
     const std::int64_t half_cap = 2 * max_local_slots + 2;
     while (half_ < half_cap) {
+      if constexpr (C::kEnabled) {
+        if (ckpt_ != nullptr) ckpt_->maybe_checkpoint(*this, half_);
+      }
       if (awake_list_[0].empty() && awake_list_[1].empty() &&
           (next_wake_[0] < wake_order_[0].size() ||
            next_wake_[1] < wake_order_[1].size())) {
@@ -312,6 +322,103 @@ class MisalignedEngine {
 
   [[nodiscard]] const P& node(graph::NodeId v) const { return nodes_.at(v); }
   [[nodiscard]] const RunStats& stats() const { return stats_; }
+  [[nodiscard]] bool is_awake(graph::NodeId v) const {
+    return awake_.at(v) != 0;
+  }
+
+  /// Serialize the complete engine state (see Engine::save_state).  The
+  /// misaligned engine carries cross-half state — in-flight transmissions
+  /// (`active_`), per-parity neighbor counts and their half stamps, and
+  /// the per-node transmit-until markers — all of which a mid-flight
+  /// delivery at half h reads from half h−1, so a checkpoint at any half
+  /// boundary must include them.
+  void save_state(obs::postmortem::Writer& w) const {
+    w.u64(nodes_.size());
+    w.i64(half_);
+    w.i64(stats_.slots_run);
+    w.u64(stats_.transmissions);
+    w.u64(stats_.deliveries);
+    w.u64(stats_.collisions);
+    w.u64(stats_.dropped);
+    w.boolean(stats_.all_decided);
+    for (const std::uint8_t a : awake_) w.u8(a);
+    for (const Slot s : decision_slot_) w.i64(s);
+    w.u64(woken_);
+    w.u64(undecided_);
+    for (const std::int64_t t : tx_until_half_) w.i64(t);
+    for (std::size_t p = 0; p < 2; ++p) {
+      for (const std::uint32_t c : nbr_count_[p]) w.u32(c);
+      for (const std::int64_t s : nbr_stamp_[p]) w.i64(s);
+      w.u64(awake_list_[p].size());
+      for (const graph::NodeId v : awake_list_[p]) w.u32(v);
+      w.u64(next_wake_[p]);
+    }
+    w.u64(active_.size());
+    for (const ActiveTx& tx : active_) {
+      w.u8(static_cast<std::uint8_t>(tx.msg.type));
+      w.u32(tx.msg.sender);
+      w.i32(tx.msg.color_index);
+      w.i64(tx.msg.counter);
+      w.u32(tx.msg.target);
+      w.i32(tx.msg.tc);
+      w.i64(tx.start_half);
+    }
+    for (const Rng& r : rngs_) obs::postmortem::write_rng(w, r);
+    for (const P& node : nodes_) node.save_state(w);
+  }
+
+  /// Restore state written by `save_state` into a freshly constructed
+  /// engine (same graph/schedule/offsets/seed).  Returns false on a
+  /// truncated or inconsistent buffer.
+  [[nodiscard]] bool load_state(obs::postmortem::Reader& r) {
+    if (r.u64() != nodes_.size()) return false;
+    half_ = r.i64();
+    stats_.slots_run = r.i64();
+    stats_.transmissions = r.u64();
+    stats_.deliveries = r.u64();
+    stats_.collisions = r.u64();
+    stats_.dropped = r.u64();
+    stats_.all_decided = r.boolean();
+    for (std::uint8_t& a : awake_) a = r.u8();
+    for (Slot& s : decision_slot_) s = r.i64();
+    woken_ = static_cast<std::size_t>(r.u64());
+    undecided_ = static_cast<std::size_t>(r.u64());
+    if (woken_ > nodes_.size() || undecided_ > nodes_.size()) return false;
+    for (std::int64_t& t : tx_until_half_) t = r.i64();
+    for (std::size_t p = 0; p < 2; ++p) {
+      for (std::uint32_t& c : nbr_count_[p]) c = r.u32();
+      for (std::int64_t& s : nbr_stamp_[p]) s = r.i64();
+      const std::uint64_t n_list = r.u64();
+      if (!r.ok() || n_list > nodes_.size()) return false;
+      awake_list_[p].clear();
+      for (std::uint64_t i = 0; i < n_list; ++i) {
+        awake_list_[p].push_back(static_cast<graph::NodeId>(r.u32()));
+      }
+      next_wake_[p] = static_cast<std::size_t>(r.u64());
+      if (next_wake_[p] > wake_order_[p].size()) return false;
+    }
+    const std::uint64_t n_active = r.u64();
+    if (!r.ok() || n_active > nodes_.size()) return false;
+    active_.clear();
+    for (std::uint64_t i = 0; i < n_active; ++i) {
+      ActiveTx tx;
+      tx.msg.type = static_cast<MsgType>(r.u8());
+      tx.msg.sender = static_cast<graph::NodeId>(r.u32());
+      tx.msg.color_index = r.i32();
+      tx.msg.counter = r.i64();
+      tx.msg.target = static_cast<graph::NodeId>(r.u32());
+      tx.msg.tc = r.i32();
+      tx.start_half = r.i64();
+      active_.push_back(tx);
+    }
+    for (Rng& rng : rngs_) {
+      if (!obs::postmortem::read_rng(r, rng)) return false;
+    }
+    for (P& node : nodes_) {
+      if (!node.load_state(r)) return false;
+    }
+    return r.ok();
+  }
 
   /// Decision time in the node's own local slots (comparable to Engine).
   [[nodiscard]] Slot decision_slot(graph::NodeId v) const {
@@ -368,6 +475,7 @@ class MisalignedEngine {
   std::vector<std::uint8_t> offsets_;
   S* sink_ = nullptr;
   T* probe_ = nullptr;  ///< telemetry probe (optional)
+  C* ckpt_ = nullptr;   ///< postmortem checkpointer (optional)
   std::vector<Rng> rngs_;
 
   std::int64_t half_ = 0;

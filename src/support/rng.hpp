@@ -132,6 +132,25 @@ class Rng {
   /// A new generator whose stream is decorrelated from this one.
   [[nodiscard]] Rng split() { return Rng(mix_seed((*this)(), (*this)())); }
 
+  /// Complete generator state.  `normal()` caches a spare variate between
+  /// calls, so the snapshot carries it too — restoring and replaying
+  /// reproduces the stream draw-for-draw, not just word-for-word.
+  struct Snapshot {
+    std::array<std::uint64_t, 4> state{};
+    bool have_spare_normal = false;
+    double spare_normal = 0.0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    return Snapshot{state_, have_spare_normal_, spare_normal_};
+  }
+
+  void restore(const Snapshot& s) {
+    state_ = s.state;
+    have_spare_normal_ = s.have_spare_normal;
+    spare_normal_ = s.spare_normal;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

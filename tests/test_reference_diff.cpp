@@ -7,11 +7,16 @@
 
 #include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/params.hpp"
 #include "core/protocol.hpp"
 #include "graph/generators.hpp"
+#include "obs/postmortem.hpp"
 #include "radio/engine.hpp"
+#include "radio/misaligned_engine.hpp"
 #include "reference_engine.hpp"
 #include "support/rng.hpp"
 
@@ -271,6 +276,284 @@ TEST(EngineDiffRun, WholeRunStatsMatchFieldForField) {
     const radio::Slot budget = 6 * params.threshold() + 4000;
     expect_stats_equal(fast.run(budget), ref.run(budget));
     expect_nodes_equal(g, fast, ref);
+  }
+}
+
+// ---- checkpoint → resume fuzz grid (postmortem) ---------------------------
+//
+// The postmortem contract: serializing an engine mid-run and resuming
+// from the checkpoint is unobservable — the resumed run replays the
+// exact RNG draw sequence, lands on the same RunStats field for field,
+// the same per-node final state, and the same serialized end-state
+// bytes as the uninterrupted run.  The grid sweeps both engines across
+// the scenarios that stress different checkpointed state: mid-waking
+// snapshots (sleepers still pending), lossy media (medium RNG stream
+// mid-sequence), post-deactivate snapshots (dead bits and live-list
+// compaction), and multi-wave gap schedules (fast-forward cursors).
+
+namespace pm = obs::postmortem;
+
+void expect_resume_equals_straight(const core::RunResult& resumed,
+                                   const core::RunResult& straight) {
+  expect_stats_equal(resumed.medium, straight.medium);
+  EXPECT_EQ(resumed.colors, straight.colors);
+  EXPECT_EQ(resumed.wake_slot, straight.wake_slot);
+  EXPECT_EQ(resumed.decision_slot, straight.decision_slot);
+  EXPECT_EQ(resumed.latency, straight.latency);
+  EXPECT_EQ(resumed.leader_of, straight.leader_of);
+  EXPECT_EQ(resumed.intra_cluster, straight.intra_cluster);
+  EXPECT_EQ(resumed.num_leaders, straight.num_leaders);
+  EXPECT_EQ(resumed.total_resets, straight.total_resets);
+  EXPECT_EQ(resumed.max_verify_states, straight.max_verify_states);
+  EXPECT_EQ(resumed.duplicate_serves, straight.duplicate_serves);
+  EXPECT_EQ(resumed.max_color, straight.max_color);
+  EXPECT_EQ(resumed.check.valid(), straight.check.valid());
+  EXPECT_EQ(resumed.all_decided, straight.all_decided);
+}
+
+/// One aligned-engine checkpoint→resume round: engine `a` runs straight
+/// through, twin `b` snapshots at `take_at` (after replaying `kills`,
+/// which must all land before the snapshot) and continues; the
+/// checkpoint is then loaded and resumed.  All three must agree on
+/// stats, per-node state, and the final `save_state` byte blob.
+void check_aligned_resume(
+    const graph::Graph& g, const core::Params& params,
+    const radio::WakeSchedule& schedule, std::uint64_t seed,
+    radio::MediumOptions medium, radio::Slot take_at, radio::Slot budget,
+    const std::string& tag,
+    const std::vector<std::pair<radio::Slot, graph::NodeId>>& kills = {}) {
+  std::vector<core::ColoringNode> a_nodes, b_nodes;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    a_nodes.emplace_back(&params, v);
+    b_nodes.emplace_back(&params, v);
+  }
+  radio::Engine<core::ColoringNode> a(g, schedule, std::move(a_nodes), seed,
+                                      medium);
+  radio::Engine<core::ColoringNode> b(g, schedule, std::move(b_nodes), seed,
+                                      medium);
+
+  const std::string path = ::testing::TempDir() + "refdiff_" + tag + ".urnc";
+  pm::Checkpointer ckpt(
+      path, pm::EngineKind::kAligned, 0,
+      core::render_scenario(
+          core::make_scenario(g, params, schedule, seed, budget, medium)));
+
+  std::size_t next_kill = 0;
+  radio::Slot t = 0;
+  for (; t < take_at && !a.all_decided(); ++t) {
+    a.step();
+    b.step();
+    while (next_kill < kills.size() && kills[next_kill].first == t) {
+      a.deactivate(kills[next_kill].second);
+      b.deactivate(kills[next_kill].second);
+      ++next_kill;
+    }
+  }
+  ASSERT_EQ(next_kill, kills.size()) << "kill script outlived the snapshot";
+  ckpt.take(b, t);
+  ASSERT_FALSE(ckpt.failed());
+
+  const radio::RunStats stats_a = a.run(budget);
+  const radio::RunStats stats_b = b.run(budget);
+  expect_stats_equal(stats_b, stats_a);  // snapshotting perturbed nothing
+  expect_nodes_equal(g, b, a);
+
+  pm::Writer blob_a, blob_b;
+  a.save_state(blob_a);
+  b.save_state(blob_b);
+  EXPECT_EQ(blob_a.data(), blob_b.data());
+
+  const core::LoadedCheckpoint lc = core::load_checkpoint(path);
+  ASSERT_TRUE(lc.ok) << lc.error;
+  ASSERT_EQ(lc.position, t);
+  const core::ResumeResult resumed = core::resume_coloring(lc);
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  expect_resume_equals_straight(
+      resumed.run, core::harvest_coloring(a, g, schedule, stats_a));
+
+  // Final-state byte equality: rebuild from the checkpoint by hand, run
+  // to the recorded budget, and the end state must serialize to the
+  // straight run's exact bytes.
+  std::vector<core::ColoringNode> c_nodes;
+  for (graph::NodeId v = 0; v < lc.graph.num_nodes(); ++v) {
+    c_nodes.emplace_back(&lc.scenario.params, v);
+  }
+  radio::WakeSchedule rsched{std::vector<radio::Slot>(lc.scenario.wake_slots)};
+  radio::Engine<core::ColoringNode> c(lc.graph, rsched, std::move(c_nodes),
+                                      lc.scenario.seed, lc.scenario.medium);
+  pm::Reader state(lc.engine_state);
+  ASSERT_TRUE(c.load_state(state));
+  (void)c.run(lc.scenario.max_slots);
+  pm::Writer blob_c;
+  c.save_state(blob_c);
+  EXPECT_EQ(blob_c.data(), blob_a.data());
+}
+
+using ResumeCase =
+    std::tuple<std::string, std::uint64_t, double, bool /*gap schedule*/>;
+
+class CheckpointResumeAligned : public ::testing::TestWithParam<ResumeCase> {
+};
+
+TEST_P(CheckpointResumeAligned, ResumeIsBitIdenticalToStraightRun) {
+  const auto& [family, seed, drop, gaps] = GetParam();
+  const graph::Graph g = make_graph(family, seed);
+  const std::size_t n = g.num_nodes();
+  const auto delta = std::max(2u, g.max_closed_degree());
+  const core::Params params = core::Params::practical(n, delta, 5, 12);
+  radio::MediumOptions medium;
+  medium.drop_probability = drop;
+
+  radio::WakeSchedule schedule = [&] {
+    if (gaps) {
+      // Three wake waves with multi-thousand-slot silence between them
+      // (the fast-forward path); the snapshot below lands inside the
+      // silence after wave two, with wave three still asleep.
+      std::vector<radio::Slot> wakes(n);
+      for (std::size_t v = 0; v < n; ++v) {
+        wakes[v] = v < n / 3 ? 4000 : (v < 2 * n / 3 ? 9000 : 15000);
+      }
+      return radio::WakeSchedule{std::move(wakes)};
+    }
+    Rng wrng(mix_seed(seed, 77));
+    return radio::WakeSchedule::uniform(n, 1000, wrng);
+  }();
+
+  // Mid-waking snapshot: halfway into the wake window, so part of the
+  // network is still asleep inside the checkpoint.
+  const radio::Slot take_at = gaps ? 9500 : 500;
+  const radio::Slot budget =
+      (gaps ? 15000 : 1000) + 4 * params.threshold() + 2000;
+  check_aligned_resume(g, params, schedule, seed, medium, take_at, budget,
+                       family + "_s" + std::to_string(seed) +
+                           (gaps ? "_gaps" : "") + "_d" +
+                           std::to_string(static_cast<int>(drop * 100)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CheckpointResumeAligned,
+    ::testing::Values(ResumeCase{"udg", 61, 0.0, false},
+                      ResumeCase{"gnp", 62, 0.25, false},
+                      ResumeCase{"star", 63, 0.15, false},
+                      ResumeCase{"udg", 64, 0.1, true},
+                      ResumeCase{"cycle", 65, 0.35, true}),
+    [](const ::testing::TestParamInfo<ResumeCase>& param_info) {
+      return std::get<0>(param_info.param) + "_s" +
+             std::to_string(std::get<1>(param_info.param)) +
+             (std::get<3>(param_info.param) ? "_gaps" : "") + "_d" +
+             std::to_string(
+                 static_cast<int>(std::get<2>(param_info.param) * 100));
+    });
+
+// Post-deactivate snapshot: crash-stop a few nodes before the
+// checkpoint, so the dead bits, compacted live lists, and adjusted
+// pending counts all travel through serialization.
+TEST(CheckpointResumeAligned, PostDeactivateStateSurvivesRoundTrip) {
+  for (const std::uint64_t seed : {71ull, 72ull}) {
+    const graph::Graph g = make_graph("udg", seed);
+    const std::size_t n = g.num_nodes();
+    const auto delta = std::max(2u, g.max_closed_degree());
+    const core::Params params = core::Params::practical(n, delta, 5, 12);
+    radio::MediumOptions medium;
+    medium.drop_probability = 0.2;
+    Rng wrng(mix_seed(seed, 77));
+    const auto schedule = radio::WakeSchedule::uniform(n, 600, wrng);
+
+    // Same kill cadence as EngineDiffDeactivate, confined to the
+    // pre-snapshot window so the resumed run needs no replay script.
+    Rng crash_rng(mix_seed(seed, 80));
+    std::vector<std::pair<radio::Slot, graph::NodeId>> kills;
+    const radio::Slot take_at = 2000;
+    for (radio::Slot t = 0; t < take_at; ++t) {
+      if (t % 701 == 350) {
+        kills.emplace_back(t,
+                           static_cast<graph::NodeId>(crash_rng.below(n)));
+      }
+    }
+    const radio::Slot budget = 4 * params.threshold() + 4000;
+    check_aligned_resume(g, params, schedule, seed, medium, take_at, budget,
+                         "deact_s" + std::to_string(seed), kills);
+  }
+}
+
+// Misaligned engine: positions are half-slots, and the checkpoint must
+// carry the cross-half state (in-flight transmissions, per-parity
+// neighbor counts and stamps).  Snapshot at an odd half boundary so a
+// transmission spanning the boundary is live inside the checkpoint.
+TEST(CheckpointResumeMisaligned, ResumeIsBitIdenticalToStraightRun) {
+  for (const std::uint64_t seed : {81ull, 82ull}) {
+    const graph::Graph g = make_graph("gnp", seed);
+    const std::size_t n = g.num_nodes();
+    const auto delta = std::max(2u, g.max_closed_degree());
+    const core::Params params = core::Params::practical(n, delta, 5, 12);
+    Rng wrng(mix_seed(seed, 77));
+    const auto schedule = radio::WakeSchedule::uniform(n, 800, wrng);
+    Rng orng(mix_seed(seed, 5));
+    const auto offsets =
+        radio::MisalignedEngine<core::ColoringNode>::random_offsets(n, orng);
+
+    std::vector<core::ColoringNode> a_nodes, b_nodes;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      a_nodes.emplace_back(&params, v);
+      b_nodes.emplace_back(&params, v);
+    }
+    radio::MisalignedEngine<core::ColoringNode> a(g, schedule, a_nodes,
+                                                  offsets, seed);
+    radio::MisalignedEngine<core::ColoringNode> b(g, schedule, b_nodes,
+                                                  offsets, seed);
+
+    const radio::Slot budget = 4 * params.threshold() + 2000;
+    const std::string path = ::testing::TempDir() + "refdiff_mis_s" +
+                             std::to_string(seed) + ".urnc";
+    pm::Checkpointer ckpt(
+        path, pm::EngineKind::kMisaligned, 0,
+        core::render_scenario(core::make_scenario(
+            g, params, schedule, seed, budget, {}, 0,
+            std::vector<std::uint8_t>(offsets))));
+
+    std::int64_t h = 0;
+    const std::int64_t take_at_half = 2 * 400 + 1;  // mid-waking, odd half
+    for (; h < take_at_half && !a.all_decided(); ++h) {
+      a.step_half();
+      b.step_half();
+    }
+    ckpt.take(b, h);
+    ASSERT_FALSE(ckpt.failed());
+
+    const radio::RunStats stats_a = a.run(budget);
+    const radio::RunStats stats_b = b.run(budget);
+    expect_stats_equal(stats_b, stats_a);
+    expect_nodes_equal(g, b, a);
+
+    pm::Writer blob_a, blob_b;
+    a.save_state(blob_a);
+    b.save_state(blob_b);
+    EXPECT_EQ(blob_a.data(), blob_b.data());
+
+    const core::LoadedCheckpoint lc = core::load_checkpoint(path);
+    ASSERT_TRUE(lc.ok) << lc.error;
+    ASSERT_EQ(lc.kind, pm::EngineKind::kMisaligned);
+    ASSERT_EQ(lc.position, h);
+    const core::ResumeResult resumed = core::resume_coloring(lc);
+    ASSERT_TRUE(resumed.ok) << resumed.error;
+    expect_resume_equals_straight(
+        resumed.run, core::harvest_coloring(a, g, schedule, stats_a));
+
+    std::vector<core::ColoringNode> c_nodes;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      c_nodes.emplace_back(&lc.scenario.params, v);
+    }
+    radio::WakeSchedule rsched{
+        std::vector<radio::Slot>(lc.scenario.wake_slots)};
+    radio::MisalignedEngine<core::ColoringNode> c(
+        lc.graph, rsched, std::move(c_nodes), lc.scenario.offsets,
+        lc.scenario.seed);
+    pm::Reader state(lc.engine_state);
+    ASSERT_TRUE(c.load_state(state));
+    (void)c.run(lc.scenario.max_slots);
+    pm::Writer blob_c;
+    c.save_state(blob_c);
+    EXPECT_EQ(blob_c.data(), blob_a.data());
   }
 }
 
