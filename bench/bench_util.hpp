@@ -34,6 +34,9 @@
 ///    snapshots complete engine state into a bundle directory, and a
 ///    monitored violation captures checkpoint + flight-recorder ring +
 ///    monitor report together (inspect/resume with `urn_postmortem`).
+///    The `--explain` flag captures the representative run in memory and
+///    exports its causal latency attribution (obs/explain.hpp) as the
+///    `explain.*` key family of `BENCH_<name>.json` via `explain_emit`.
 ///
 ///  * `ledger_record` / `ledger_emit` — feed each trial's `RunResult`
 ///    into an `obs::RunLedger` and export the percentile summaries
@@ -58,6 +61,7 @@
 #include "graph/generators.hpp"
 #include "graph/independence.hpp"
 #include "obs/chrome.hpp"
+#include "obs/explain.hpp"
 #include "obs/ledger.hpp"
 #include "obs/monitor.hpp"
 #include "obs/postmortem.hpp"
@@ -223,6 +227,12 @@ struct TraceArgs {
   std::string postmortem_dir;        ///< --postmortem-dir: bundle directory
   std::int64_t checkpoint_every = 0; ///< --checkpoint-every (slots; 0 = once)
   bool dump_on_violation = false;    ///< --dump-on-violation: full bundle
+  bool explain = false;              ///< --explain: causal attribution
+
+  /// In-memory event capture of the representative traced run, created
+  /// when --explain is set; `explain_emit` replays it through
+  /// obs::explain_trace and exports the `explain.*` key family.
+  std::shared_ptr<obs::MemorySink> explain_events;
 
   /// Global telemetry registry when --telemetry-out / --telemetry-prom is
   /// set, null otherwise.  Non-null turns on the engine/pool probes via
@@ -273,8 +283,9 @@ struct TraceArgs {
   }
 
   [[nodiscard]] bool enabled() const {
-    return monitor || !trace_path.empty() || !trace_bin_path.empty() ||
-           !metrics_path.empty() || postmortem().enabled();
+    return monitor || explain || !trace_path.empty() ||
+           !trace_bin_path.empty() || !metrics_path.empty() ||
+           postmortem().enabled();
   }
   [[nodiscard]] core::TraceOptions options() const {
     core::TraceOptions opts;
@@ -287,6 +298,7 @@ struct TraceArgs {
     opts.spans = spans.get();
     opts.telemetry = telemetry;
     opts.postmortem = postmortem();
+    opts.memory = explain_events.get();
     return opts;
   }
 };
@@ -336,6 +348,10 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
                  "capture a full postmortem bundle (checkpoint + ring + "
                  "monitor report) when an invariant violation is detected; "
                  "implies --monitor on the traced run");
+  flags.add_bool("explain", false,
+                 "attribute the representative traced run's per-node "
+                 "decision latency to causes (obs/explain) and export the "
+                 "explain.* key family into BENCH_<name>.json");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
                  flags.usage(program).c_str());
@@ -364,6 +380,10 @@ inline TraceArgs parse_trace_args(int argc, const char* const* argv,
   args.checkpoint_every =
       std::max<std::int64_t>(0, flags.get_int("checkpoint-every"));
   args.dump_on_violation = flags.get_bool("dump-on-violation");
+  args.explain = flags.get_bool("explain");
+  if (args.explain) {
+    args.explain_events = std::make_shared<obs::MemorySink>();
+  }
   // Fail on unwritable destinations now, not after the (often long)
   // aggregate loops have already run.
   for (const std::string& path :
@@ -464,6 +484,39 @@ inline core::RunResult run_traced(const TraceArgs& args,
                 run.monitor->nodes_seen);
   }
   return run;
+}
+
+/// Export the representative traced run's causal latency attribution
+/// (obs/explain.hpp) as `explain.*` keys of the bench summary.  No-op
+/// unless `--explain` captured events (so call sites can wire it
+/// unconditionally).  The run parameters supply what the trace alone
+/// cannot: κ₂ and the A_i passive-listen prefix.  `urn_bench_diff` puts
+/// the whole key family into its own tolerance class (`--explain-tol`,
+/// default exact) — the attribution is a pure function of the trace, so
+/// fixed-seed baselines stay bit-identical.
+inline void explain_emit(BenchSummary& summary, const TraceArgs& args,
+                         const core::Params& params) {
+  if (args.explain_events == nullptr || args.explain_events->events().empty()) {
+    return;
+  }
+  obs::ExplainConfig config;
+  config.kappa2 = params.kappa2;
+  config.passive_slots = params.passive_slots();
+  const obs::ExplainReport report =
+      obs::explain_trace(args.explain_events->events(), config);
+  for (const obs::ExplainEntry& e : obs::explain_entries(report)) {
+    if (e.is_str) {
+      summary.set(e.key, e.str);
+    } else if (e.num == static_cast<double>(static_cast<std::int64_t>(e.num))) {
+      summary.set(e.key, static_cast<std::int64_t>(e.num));
+    } else {
+      summary.set(e.key, e.num);
+    }
+  }
+  std::printf("(explain: %zu nodes, top cause %s, accounting invariant %s "
+              "-> explain.* keys)\n",
+              report.nodes.size(), obs::cause_name(report.top_cause()),
+              report.exact_ok() ? "OK" : "FAILED");
 }
 
 /// Feed one trial's headline metrics into the cross-run ledger.

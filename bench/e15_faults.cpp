@@ -130,6 +130,7 @@ int main(int argc, char** argv) {
       summary.set("traced.drop_p", p);
       summary.set("traced.valid", run.check.valid());
       summary.set_medium("traced", run.medium);
+      bench::explain_emit(summary, trace, mp.params);
     }
   }
   t1.emit();

@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
                                          schedule, trial_seed);
       summary.set("traced.valid", run.check.valid());
       summary.set_medium("traced", run.medium);
+      bench::explain_emit(summary, trace, mp.params);
     }
   }
   table.emit();

@@ -98,6 +98,7 @@ int main(int argc, char** argv) {
       summary.set("traced.pattern", p.name);
       summary.set("traced.valid", run.check.valid());
       summary.set_medium("traced", run.medium);
+      bench::explain_emit(summary, trace, mp.params);
     }
   }
   table.emit();

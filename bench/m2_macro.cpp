@@ -179,6 +179,11 @@ int main(int argc, char** argv) {
                 "contended cores when > 1");
   flags.add_string("filter", "",
                    "only run cells whose id contains this substring");
+  flags.add_string("trace-bin", "",
+                   "after the timed grid, record one extra untimed run of "
+                   "the first grid cell as a compact binary event log "
+                   "(analyze with urn_trace / urn_explain); never affects "
+                   "the timed rates or the summary keys");
   flags.add_bool("progress", false,
                  "print a one-line cells-done/ETA progress meter to "
                  "stderr every telemetry interval");
@@ -337,5 +342,28 @@ int main(int argc, char** argv) {
   }
   summary.add_profile();
   summary.emit();
+
+  // --trace-bin: one extra untimed traced run of the first grid cell,
+  // after the summary is written, so the emitted keys are identical with
+  // and without the flag.  This is the capture the CI throughput-smoke
+  // leg feeds to `urn_explain summarize`.
+  const std::string trace_bin = flags.get_string("trace-bin");
+  if (!trace_bin.empty()) {
+    const CellSpec& spec = grid.front();
+    const graph::Graph g = build_graph(spec);
+    const auto delta = std::max(2u, g.max_closed_degree());
+    const core::Params params =
+        core::Params::practical(spec.n, delta, 5, 12);
+    core::TraceOptions topts;
+    topts.events_bin = trace_bin;
+    const core::RunResult run = core::run_coloring_traced(
+        g, params, make_schedule(spec, params),
+        mix_seed(0x32AC5D, spec.seed), topts);
+    std::printf("(trace: %llu events -> %s; attribute with urn_explain "
+                "summarize %s --kappa2 %u --passive-slots %lld)\n",
+                static_cast<unsigned long long>(run.events_recorded),
+                trace_bin.c_str(), trace_bin.c_str(), params.kappa2,
+                static_cast<long long>(params.passive_slots()));
+  }
   return 0;
 }

@@ -158,6 +158,79 @@ CoreAggregate run_core_trials(const graph::Graph& g,
   return run_core_trials(g, params, schedules, trials, seed0, exec);
 }
 
+void record_explain(ExplainAggregate& agg,
+                    const obs::ExplainReport& report) {
+  ++agg.trials;
+  agg.nodes += report.nodes.size();
+  agg.decided_nodes += report.decided_nodes;
+  agg.exact_nodes += report.exact_nodes;
+  agg.fig2_violations += report.fig2_violations;
+  for (std::size_t c = 0; c < obs::kNumCauses; ++c) {
+    agg.totals[c] += report.totals[c];
+    for (std::size_t b = 0; b < obs::kNumPhaseBuckets; ++b) {
+      agg.phase_totals[b][c] += report.phase_totals[b][c];
+    }
+  }
+  std::int64_t latency_sum = 0;
+  std::size_t decided = 0;
+  for (const obs::NodeAttribution& n : report.nodes) {
+    if (!n.decided) continue;
+    latency_sum += n.latency();
+    ++decided;
+  }
+  agg.mean_latency.add(decided ? static_cast<double>(latency_sum) /
+                                     static_cast<double>(decided)
+                               : 0.0);
+  agg.top_share.add(report.share(report.top_cause()));
+}
+
+void ExplainAggregate::merge(const ExplainAggregate& other) {
+  trials += other.trials;
+  nodes += other.nodes;
+  decided_nodes += other.decided_nodes;
+  exact_nodes += other.exact_nodes;
+  fig2_violations += other.fig2_violations;
+  for (std::size_t c = 0; c < obs::kNumCauses; ++c) {
+    totals[c] += other.totals[c];
+    for (std::size_t b = 0; b < obs::kNumPhaseBuckets; ++b) {
+      phase_totals[b][c] += other.phase_totals[b][c];
+    }
+  }
+  mean_latency.merge(other.mean_latency);
+  top_share.merge(other.top_share);
+}
+
+ExplainAggregate run_explained_trials(const graph::Graph& g,
+                                      const core::Params& params,
+                                      const ScheduleFactory& schedules,
+                                      std::size_t trials, std::uint64_t seed0,
+                                      const TrialExecOptions& exec,
+                                      radio::MediumOptions medium) {
+  obs::ExplainConfig config;
+  config.kappa2 = params.kappa2;
+  config.passive_slots = params.passive_slots();
+  return exec::parallel_for_trials<ExplainAggregate>(
+      trials, exec::ExecOptions{exec.jobs, exec.chunk, exec.spans, nullptr},
+      [&](ExplainAggregate& agg, std::size_t t) {
+        const std::uint64_t trial_seed = mix_seed(seed0, t);
+        const radio::WakeSchedule schedule = schedules(trial_seed);
+        // Capture in memory (worker-local sink) and attribute in-process:
+        // no file round-trip, and sinks never touch RNG streams, so the
+        // run itself is bit-identical to an untraced one.
+        obs::MemorySink events;
+        core::TraceOptions topts;
+        topts.monitor = exec.monitor;
+        topts.memory = &events;
+        const core::RunResult run = core::run_coloring_traced(
+            g, params, schedule, trial_seed, topts, exec.max_slots, medium);
+        (void)run;
+        record_explain(agg, obs::explain_trace(events.events(), config));
+      },
+      [](ExplainAggregate& into, ExplainAggregate&& part) {
+        into.merge(part);
+      });
+}
+
 void record_leader_run(LeaderAggregate& agg,
                        const core::LeaderElectionResult& run) {
   ++agg.trials;

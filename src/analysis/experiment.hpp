@@ -38,6 +38,7 @@
 #include "core/params.hpp"
 #include "core/runner.hpp"
 #include "graph/graph.hpp"
+#include "obs/explain.hpp"
 #include "obs/monitor.hpp"
 #include "radio/wakeup.hpp"
 #include "support/stats.hpp"
@@ -168,6 +169,48 @@ struct CoreAggregate {
 void record_run(CoreAggregate& agg, const core::RunResult& run,
                 std::size_t trial);
 void record_run(CoreAggregate& agg, const core::RunResult& run);
+
+/// Cause-attribution aggregate over replicated trials (obs::explain).
+/// Slot totals and exactness counters sum; the per-trial sample streams
+/// concatenate in trial order — so merging chunk aggregates follows the
+/// same order-preserving algebra as `CoreAggregate::merge` and parallel
+/// explain sweeps are bit-identical to serial ones.
+struct ExplainAggregate {
+  std::size_t trials = 0;
+  std::size_t nodes = 0;          ///< sum of per-trial node counts
+  std::size_t decided_nodes = 0;
+  std::size_t exact_nodes = 0;    ///< decided nodes whose causes sum exactly
+  std::size_t fig2_violations = 0;
+
+  /// Network-wide slot totals per cause, summed over trials.
+  std::int64_t totals[obs::kNumCauses] = {};
+  /// Cause totals cross-tabulated by Fig. 2 region, summed over trials.
+  std::int64_t phase_totals[obs::kNumPhaseBuckets][obs::kNumCauses] = {};
+
+  Samples mean_latency;  ///< per-trial mean decision latency
+  Samples top_share;     ///< per-trial share of the trial's top cause
+
+  /// True iff every decided node in every trial passed the exactness
+  /// invariant (causes sum to recorded latency).
+  [[nodiscard]] bool exact_ok() const {
+    return exact_nodes == decided_nodes;
+  }
+
+  /// Fold `other` (a later block of trials) into this one.
+  void merge(const ExplainAggregate& other);
+};
+
+/// Record one trial's attribution report into an aggregate.
+void record_explain(ExplainAggregate& agg, const obs::ExplainReport& report);
+
+/// Run `trials` seeded executions with in-memory event capture and
+/// aggregate their cause attributions.  Same seed derivation and
+/// executor as `run_core_trials`: bit-identical for every jobs count.
+[[nodiscard]] ExplainAggregate run_explained_trials(
+    const graph::Graph& g, const core::Params& params,
+    const ScheduleFactory& schedules, std::size_t trials,
+    std::uint64_t seed0, const TrialExecOptions& exec = {},
+    radio::MediumOptions medium = {});
 
 /// Aggregates over repeated leader-election (C₀-layer) executions — the
 /// leader-election twin of `CoreAggregate`.

@@ -185,12 +185,13 @@ LeaderElectionResult leader_election_impl(const graph::Graph& g,
 }
 
 /// The sink stack every traced entry point shares: metrics + JSONL +
-/// binary log + online monitor, each optional, fanned out through nested
-/// TeeSinks.
+/// binary log + online monitor + caller-owned memory capture, each
+/// optional, fanned out through nested TeeSinks.
 struct TraceSinks {
   using Inner = obs::TeeSink<obs::MetricsSink, obs::JsonlSink>;
   using Mid = obs::TeeSink<Inner, obs::BinSink>;
   using Tee = obs::TeeSink<Mid, obs::InvariantMonitorSink>;
+  using Outer = obs::TeeSink<Tee, obs::MemorySink>;
 
   obs::MetricsSink metrics;
   std::optional<obs::JsonlSink> jsonl;
@@ -199,6 +200,7 @@ struct TraceSinks {
   std::optional<Inner> inner;
   std::optional<Mid> mid;
   std::optional<Tee> tee;
+  std::optional<Outer> outer;
 
   /// Destructor-path flush: a traced runner that exits early (slot-budget
   /// exhaustion mid-harvest, an exception from a protocol callback) must
@@ -230,6 +232,7 @@ struct TraceSinks {
                   jsonl ? &*jsonl : nullptr);
     mid.emplace(&*inner, bin ? &*bin : nullptr);
     tee.emplace(&*mid, monitor ? &*monitor : nullptr);
+    outer.emplace(&*tee, trace.memory);
   }
 
   /// Harvest the artifacts into a result that carries the shared
@@ -242,7 +245,8 @@ struct TraceSinks {
   /// (probe only, zero event overhead).
   static bool event_free(const TraceOptions& trace) {
     return !trace.metrics && trace.events_jsonl.empty() &&
-           trace.events_bin.empty() && !trace.monitor;
+           trace.events_bin.empty() && !trace.monitor &&
+           trace.memory == nullptr;
   }
 
   template <typename Result>
@@ -350,11 +354,11 @@ RunResult run_coloring_postmortem(const graph::Graph& g, const Params& params,
   if (local.telemetry != nullptr) {
     obs::telemetry::EngineProbe probe(*local.telemetry);
     result = run_impl(g, params, schedule, seed, max_slots, medium,
-                      &*sinks.tee, local.spans, &probe, &ckpt);
+                      &*sinks.outer, local.spans, &probe, &ckpt);
   } else {
-    result = run_impl<typename TraceSinks::Tee,
+    result = run_impl<typename TraceSinks::Outer,
                       obs::telemetry::NullEngineProbe, pm::Checkpointer>(
-        g, params, schedule, seed, max_slots, medium, &*sinks.tee,
+        g, params, schedule, seed, max_slots, medium, &*sinks.outer,
         local.spans, nullptr, &ckpt);
   }
   pm::set_crash_flush(nullptr, nullptr);
@@ -430,14 +434,14 @@ RunResult run_coloring_traced(const graph::Graph& g, const Params& params,
     }
     TraceSinks sinks(g, params, schedule, trace);
     RunResult result =
-        run_impl(g, params, schedule, seed, max_slots, medium, &*sinks.tee,
+        run_impl(g, params, schedule, seed, max_slots, medium, &*sinks.outer,
                  trace.spans, &probe);
     sinks.finish_into(result, result.medium.slots_run, trace);
     return result;
   }
   TraceSinks sinks(g, params, schedule, trace);
   RunResult result = run_impl(g, params, schedule, seed, max_slots, medium,
-                              &*sinks.tee, trace.spans);
+                              &*sinks.outer, trace.spans);
   sinks.finish_into(result, result.medium.slots_run, trace);
   return result;
 }
@@ -466,13 +470,13 @@ LeaderElectionResult run_leader_election_traced(
     TraceSinks sinks(g, params, schedule, trace);
     LeaderElectionResult result =
         leader_election_impl(g, params, schedule, seed, max_slots, medium,
-                             &*sinks.tee, trace.spans, &probe);
+                             &*sinks.outer, trace.spans, &probe);
     sinks.finish_into(result, result.medium.slots_run, trace);
     return result;
   }
   TraceSinks sinks(g, params, schedule, trace);
   LeaderElectionResult result = leader_election_impl(
-      g, params, schedule, seed, max_slots, medium, &*sinks.tee,
+      g, params, schedule, seed, max_slots, medium, &*sinks.outer,
       trace.spans);
   sinks.finish_into(result, result.medium.slots_run, trace);
   return result;

@@ -21,6 +21,7 @@
 #include "graph/graph.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
+#include "obs/sink.hpp"
 #include "obs/span.hpp"
 #include "radio/engine.hpp"
 #include "radio/wakeup.hpp"
@@ -134,6 +135,11 @@ struct TraceOptions {
   /// sweep keeps its untraced throughput.  Not owned; must outlive the
   /// run.
   obs::telemetry::Registry* telemetry = nullptr;
+  /// Optional in-memory event capture: every event is also recorded
+  /// into this sink (unbounded; intended for in-process analysis such
+  /// as `obs::explain_trace` — no file round-trip).  Not owned; must
+  /// outlive the run.
+  obs::MemorySink* memory = nullptr;
   /// Periodic checkpointing + violation bundle capture (see
   /// `PostmortemOptions`).  Only honored by `run_coloring_traced`; the
   /// leader-election entry points ignore it.

@@ -267,6 +267,13 @@ ParsedTraceFile read_trace_file(const std::string& path) {
     char magic[sizeof(kBinMagic)] = {};
     const std::size_t got = std::fread(magic, 1, sizeof(magic), f);
     std::fclose(f);
+    if (got == 0) {
+      // An empty capture is always a broken capture: a real trace has
+      // at least a header (URNB) or one event line (JSONL).  Falling
+      // through to the JSONL parser would report "ok, 0 events".
+      out.error = path + ": empty trace file";
+      return out;
+    }
     out.binary = got == sizeof(magic) &&
                  std::memcmp(magic, kBinMagic, sizeof(magic)) == 0;
   }

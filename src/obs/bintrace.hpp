@@ -140,9 +140,11 @@ struct ParsedTraceFile {
 
 /// Open `path`, sniff the first four bytes for the binary magic, and
 /// parse accordingly (anything else is treated as JSONL).  `ok` is
-/// false — with `error` set — when the file cannot be opened, a binary
-/// header is malformed, or a JSONL file's first non-empty line does not
-/// parse (i.e. the file is not a trace log at all).
+/// false — with `error` set — when the file cannot be opened, is empty,
+/// a binary header is malformed, or a JSONL file's first non-empty line
+/// does not parse (i.e. the file is not a trace log at all).  Tails are
+/// tolerant in both formats: a trailing partial record / line only
+/// bumps `bad`.
 [[nodiscard]] ParsedTraceFile read_trace_file(const std::string& path);
 
 }  // namespace urn::obs

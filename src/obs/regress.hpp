@@ -70,6 +70,18 @@ struct DiffOptions {
   /// (one-sided: a faster run is never a regression).
   std::vector<std::string> rate_substrings = {".noderate."};
   double rate_rel_tol = 0.0;  ///< 0: presence + numeric check only
+  /// Keys containing any of these substrings are *attribution* metrics
+  /// (the `explain.*` family): slot totals and share-of-total ratios
+  /// from the cause-attribution pass.  Shares are ratios in [0, 1] —
+  /// not rates — so the class gets its own two-sided tolerance:
+  /// numeric values compare within `explain_tol + explain_tol·|base|`
+  /// (the absolute term keeps near-zero shares comparable).  With
+  /// `explain_tol == 0` the class is exact — the committed gate stays
+  /// bit-identical.  Non-numeric explain values (e.g. the top-cause
+  /// name) must match exactly at tol 0 and need only be present
+  /// otherwise.
+  std::vector<std::string> explain_substrings = {"explain."};
+  double explain_tol = 0.0;
 };
 
 /// One detected regression.

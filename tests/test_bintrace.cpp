@@ -329,6 +329,39 @@ TEST(ReadTraceFile, FailsCleanlyOnMissingAndGarbageInputs) {
   std::remove(garbage.c_str());
 }
 
+TEST(ReadTraceFile, EmptyFileIsAnError) {
+  // A zero-byte file is neither a binary log nor a JSONL log; before the
+  // explicit check it silently parsed as an empty JSONL capture.
+  const std::string path = ::testing::TempDir() + "bintrace_empty.log";
+  { std::ofstream out(path); }
+  const ParsedTraceFile empty = read_trace_file(path);
+  EXPECT_FALSE(empty.ok);
+  EXPECT_NE(empty.error.find("empty"), std::string::npos) << empty.error;
+  std::remove(path.c_str());
+}
+
+TEST(ReadTraceFile, TrailingPartialJsonlLineIsToleratedAsBad) {
+  // A crash mid-write leaves an unterminated final line; the reader must
+  // keep every complete record and count the tail as malformed.
+  const std::string path = ::testing::TempDir() + "bintrace_partial.jsonl";
+  const Event e = Event::decision(42, 7, 3, 40);
+  {
+    JsonlSink jsonl(path);
+    jsonl.record(e);
+  }
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"slot\":43,\"kind\":\"dec";  // cut off mid-record, no newline
+  }
+  const ParsedTraceFile log = read_trace_file(path);
+  ASSERT_TRUE(log.ok) << log.error;
+  EXPECT_FALSE(log.binary);
+  ASSERT_EQ(log.events.size(), 1u);
+  EXPECT_EQ(log.events[0], e);
+  EXPECT_EQ(log.bad, 1u);
+  std::remove(path.c_str());
+}
+
 TEST(ReadTraceFile, FailsCleanlyOnCorruptBinaryHeader) {
   const std::string path = ::testing::TempDir() + "bintrace_badheader.bin";
   {

@@ -1,0 +1,250 @@
+// Causal latency attribution (obs/explain.hpp): the exact-accounting
+// invariant under a lossy-medium fuzz grid, cross-checked against both
+// engine implementations; bit-identical parallel aggregation through
+// analysis::run_explained_trials; deterministic bootstrap diffing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "obs/explain.hpp"
+#include "obs/sink.hpp"
+#include "reference_engine.hpp"
+#include "support/rng.hpp"
+
+namespace urn {
+namespace {
+
+core::Params params_for(const graph::Graph& g) {
+  const auto delta = std::max(2u, g.max_closed_degree());
+  return core::Params::practical(g.num_nodes(), delta, 5, 12);
+}
+
+// ---- fuzz grid: drop probability x wake pattern ---------------------------
+//
+// For every cell: run the optimized engine traced into memory, attribute
+// the capture, and demand (a) zero Fig. 2 violations, (b) the exactness
+// invariant — every decided node's causes sum to its recorded decision
+// latency, with wake/decision slots matching the RunResult — and
+// (c) the naive reference engine reproduces the same decision slots, so
+// the cross-check covers both medium implementations.
+
+using FuzzCase = std::tuple<double, std::string, std::uint64_t>;
+
+class ExplainFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(ExplainFuzz, CausesSumToRecordedLatencyOnBothEngines) {
+  const auto& [drop, pattern, seed] = GetParam();
+  Rng rng(seed);
+  const graph::Graph g = graph::random_udg(60, 5.5, 1.5, rng).graph;
+  const core::Params params = params_for(g);
+  Rng wrng(mix_seed(seed, 0xA11CE));
+  const radio::WakeSchedule schedule =
+      pattern == "sync"
+          ? radio::WakeSchedule::synchronous(g.num_nodes())
+          : radio::WakeSchedule::uniform(g.num_nodes(),
+                                         2 * params.threshold(), wrng);
+  radio::MediumOptions medium;
+  medium.drop_probability = drop;
+
+  obs::MemorySink events;
+  core::TraceOptions topts;
+  topts.memory = &events;
+  const std::uint64_t run_seed = mix_seed(seed, 0xD0);
+  const core::RunResult run = core::run_coloring_traced(
+      g, params, schedule, run_seed, topts, /*max_slots=*/0, medium);
+
+  obs::ExplainConfig config;
+  config.kappa2 = params.kappa2;
+  config.passive_slots = params.passive_slots();
+  const obs::ExplainReport report =
+      obs::explain_trace(events.events(), config);
+
+  EXPECT_EQ(report.fig2_violations, 0u);
+  EXPECT_TRUE(report.exact_ok());
+  ASSERT_EQ(report.nodes.size(), static_cast<std::size_t>(g.num_nodes()));
+  for (const obs::NodeAttribution& node : report.nodes) {
+    ASSERT_LT(static_cast<std::size_t>(node.node),
+              run.decision_slot.size());
+    EXPECT_EQ(node.wake_slot, run.wake_slot[node.node]);
+    EXPECT_EQ(node.decision_slot, run.decision_slot[node.node]);
+    if (node.decided) {
+      EXPECT_EQ(node.stall(),
+                run.decision_slot[node.node] - run.wake_slot[node.node])
+          << "node " << node.node;
+    }
+  }
+
+  std::vector<core::ColoringNode> ref_nodes;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ref_nodes.emplace_back(&params, v);
+  }
+  testing::ReferenceEngine<core::ColoringNode> ref(
+      g, schedule, std::move(ref_nodes), run_seed, medium);
+  for (radio::Slot t = 0; t < run.medium.slots_run; ++t) ref.step();
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(ref.decision_slot(v), run.decision_slot[v]) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DropAndWakeGrid, ExplainFuzz,
+    ::testing::Values(FuzzCase{0.10, "sync", 21},
+                      FuzzCase{0.10, "uniform", 22},
+                      FuzzCase{0.20, "sync", 23},
+                      FuzzCase{0.20, "uniform", 24},
+                      FuzzCase{0.35, "sync", 25},
+                      FuzzCase{0.35, "uniform", 26}),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return "drop" +
+             std::to_string(
+                 static_cast<int>(100.0 * std::get<0>(info.param))) +
+             "_" + std::get<1>(info.param) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---- span collection ------------------------------------------------------
+
+TEST(ExplainSpans, TileEachNodesWindowAndMatchTheCauseTotals) {
+  Rng rng(7);
+  const graph::Graph g = graph::random_udg(40, 4.5, 1.5, rng).graph;
+  const core::Params params = params_for(g);
+  Rng wrng(77);
+  const auto schedule = radio::WakeSchedule::uniform(
+      g.num_nodes(), 2 * params.threshold(), wrng);
+
+  obs::MemorySink events;
+  core::TraceOptions topts;
+  topts.memory = &events;
+  (void)core::run_coloring_traced(g, params, schedule, 0xBAD5EED, topts);
+
+  obs::ExplainConfig config;
+  config.kappa2 = params.kappa2;
+  config.passive_slots = params.passive_slots();
+  config.collect_spans = true;
+  const obs::ExplainReport report =
+      obs::explain_trace(events.events(), config);
+  ASSERT_EQ(report.spans.size(), report.nodes.size());
+
+  for (std::size_t i = 0; i < report.nodes.size(); ++i) {
+    const obs::NodeAttribution& node = report.nodes[i];
+    std::int64_t per_cause[obs::kNumCauses] = {};
+    obs::Slot cursor = 0;
+    for (const obs::CauseSpan& span : report.spans[i]) {
+      EXPECT_EQ(span.begin, cursor);  // contiguous tiling, no gaps
+      ASSERT_LT(span.begin, span.end);
+      per_cause[static_cast<std::size_t>(span.cause)] += span.end - span.begin;
+      cursor = span.end;
+    }
+    for (std::size_t c = 0; c < obs::kNumCauses; ++c) {
+      EXPECT_EQ(per_cause[c], node.causes[c])
+          << "node " << node.node << " cause " << c;
+    }
+  }
+}
+
+// ---- degenerate inputs ----------------------------------------------------
+
+TEST(ExplainTrace, EmptyTraceYieldsEmptyExactReport) {
+  const obs::ExplainReport report = obs::explain_trace({}, {});
+  EXPECT_TRUE(report.nodes.empty());
+  EXPECT_TRUE(report.exact_ok());
+  EXPECT_EQ(report.total_stall(), 0);
+  EXPECT_EQ(report.decided_nodes, 0u);
+}
+
+// ---- parallel aggregation -------------------------------------------------
+
+TEST(ExplainTrials, SerialAndParallelAggregatesAreBitIdentical) {
+  Rng rng(0xE2E);
+  const graph::Graph g = graph::random_udg(48, 5.0, 1.5, rng).graph;
+  const core::Params params = params_for(g);
+  radio::MediumOptions medium;
+  medium.drop_probability = 0.15;
+  const auto schedules =
+      analysis::uniform_schedule(g.num_nodes(), 2 * params.threshold());
+
+  analysis::TrialExecOptions serial;
+  serial.jobs = 1;
+  analysis::TrialExecOptions fanned;
+  fanned.jobs = 4;
+  const analysis::ExplainAggregate a = analysis::run_explained_trials(
+      g, params, schedules, 6, 0xBEEF, serial, medium);
+  const analysis::ExplainAggregate b = analysis::run_explained_trials(
+      g, params, schedules, 6, 0xBEEF, fanned, medium);
+
+  EXPECT_EQ(a.trials, 6u);
+  EXPECT_TRUE(a.exact_ok());
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.decided_nodes, b.decided_nodes);
+  EXPECT_EQ(a.exact_nodes, b.exact_nodes);
+  EXPECT_EQ(a.fig2_violations, b.fig2_violations);
+  for (std::size_t c = 0; c < obs::kNumCauses; ++c) {
+    EXPECT_EQ(a.totals[c], b.totals[c]) << "cause " << c;
+    for (std::size_t p = 0; p < obs::kNumPhaseBuckets; ++p) {
+      EXPECT_EQ(a.phase_totals[p][c], b.phase_totals[p][c]);
+    }
+  }
+  // Samples merge in trial order, so even the per-trial vectors match.
+  EXPECT_EQ(a.mean_latency.values(), b.mean_latency.values());
+  EXPECT_EQ(a.top_share.values(), b.top_share.values());
+}
+
+// ---- differential mode ----------------------------------------------------
+
+obs::ExplainReport explained_run(double drop, std::uint64_t seed) {
+  Rng rng(seed);
+  const graph::Graph g = graph::random_udg(50, 5.0, 1.5, rng).graph;
+  const core::Params params = params_for(g);
+  Rng wrng(mix_seed(seed, 3));
+  const auto schedule = radio::WakeSchedule::uniform(
+      g.num_nodes(), 2 * params.threshold(), wrng);
+  radio::MediumOptions medium;
+  medium.drop_probability = drop;
+  obs::MemorySink events;
+  core::TraceOptions topts;
+  topts.memory = &events;
+  (void)core::run_coloring_traced(g, params, schedule, mix_seed(seed, 9),
+                                  topts, /*max_slots=*/0, medium);
+  obs::ExplainConfig config;
+  config.kappa2 = params.kappa2;
+  config.passive_slots = params.passive_slots();
+  return obs::explain_trace(events.events(), config);
+}
+
+TEST(ExplainDiff, BootstrapIsDeterministicAndSelfDiffIsNull) {
+  const obs::ExplainReport clean = explained_run(0.0, 31);
+  const obs::ExplainReport lossy = explained_run(0.25, 31);
+
+  obs::ExplainDiffOptions options;
+  options.resamples = 200;
+  const obs::ExplainDiff once = obs::diff_explain(clean, lossy, options);
+  const obs::ExplainDiff twice = obs::diff_explain(clean, lossy, options);
+  for (std::size_t c = 0; c < obs::kNumCauses; ++c) {
+    EXPECT_EQ(once.causes[c].delta_mean, twice.causes[c].delta_mean);
+    EXPECT_EQ(once.causes[c].ci_lo, twice.causes[c].ci_lo);
+    EXPECT_EQ(once.causes[c].ci_hi, twice.causes[c].ci_hi);
+    EXPECT_EQ(once.causes[c].significant, twice.causes[c].significant);
+  }
+
+  // A run diffed against itself: zero deltas, nothing significant.
+  const obs::ExplainDiff self = obs::diff_explain(clean, clean, options);
+  EXPECT_EQ(self.nodes_a, self.nodes_b);
+  EXPECT_DOUBLE_EQ(self.speedup, 1.0);
+  for (const obs::CauseDelta& d : self.causes) {
+    EXPECT_EQ(d.delta_mean, 0.0) << obs::cause_name(d.cause);
+    EXPECT_FALSE(d.significant) << obs::cause_name(d.cause);
+  }
+}
+
+}  // namespace
+}  // namespace urn

@@ -448,5 +448,79 @@ TEST(BenchRegress, EmptyRateClassFallsBackToExact) {
   EXPECT_FALSE(diff_bench(base, fresh, opt).ok());
 }
 
+// ---- explain-class keys (attribution metrics) ----------------------------
+
+TEST(BenchRegress, ExplainKeysExactByDefault) {
+  // With the default explain_tol = 0 the class degrades to an exact
+  // comparison, so the committed gate stays bit-identical.
+  const BenchDoc base =
+      parse_bench_json("{\"explain.cause.collision.share\": 0.25}");
+  const BenchDoc same =
+      parse_bench_json("{\"explain.cause.collision.share\": 0.25}");
+  const BenchDoc drifted =
+      parse_bench_json("{\"explain.cause.collision.share\": 0.26}");
+  EXPECT_TRUE(diff_bench(base, same).ok());
+  EXPECT_FALSE(diff_bench(base, drifted).ok());
+}
+
+TEST(BenchRegress, ExplainTolAllowsTwoSidedDrift) {
+  const BenchDoc base =
+      parse_bench_json("{\"explain.cause.collision.share\": 0.25}");
+  const BenchDoc up =
+      parse_bench_json("{\"explain.cause.collision.share\": 0.30}");
+  const BenchDoc down =
+      parse_bench_json("{\"explain.cause.collision.share\": 0.20}");
+  const BenchDoc far_off =
+      parse_bench_json("{\"explain.cause.collision.share\": 0.60}");
+  DiffOptions opt;
+  opt.explain_tol = 0.1;  // allowed = 0.1 + 0.1*0.25 = 0.125, both sides
+  EXPECT_TRUE(diff_bench(base, up, opt).ok());
+  EXPECT_TRUE(diff_bench(base, down, opt).ok());
+  EXPECT_FALSE(diff_bench(base, far_off, opt).ok());
+}
+
+TEST(BenchRegress, ExplainTolDoesNotLoosenOtherMetrics) {
+  // The explain tolerance must not leak into the exact class.
+  const BenchDoc base = parse_bench_json(
+      "{\"explain.total_stall\": 100, \"coloring.latency.max\": 100}");
+  const BenchDoc fresh = parse_bench_json(
+      "{\"explain.total_stall\": 105, \"coloring.latency.max\": 105}");
+  DiffOptions opt;
+  opt.explain_tol = 0.1;  // allowed = 0.1 + 10 = 10.1 for explain keys
+  const DiffReport r = diff_bench(base, fresh, opt);
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_EQ(r.regressions[0].key, "coloring.latency.max");
+}
+
+TEST(BenchRegress, ExplainStringKeyExactAtZeroTol) {
+  const BenchDoc base =
+      parse_bench_json("{\"explain.top_cause\": \"collision\"}");
+  const BenchDoc changed =
+      parse_bench_json("{\"explain.top_cause\": \"phase_wait\"}");
+  EXPECT_FALSE(diff_bench(base, changed).ok());
+  DiffOptions opt;
+  opt.explain_tol = 0.1;  // nonzero tol: presence is enough for strings
+  EXPECT_TRUE(diff_bench(base, changed, opt).ok());
+}
+
+TEST(BenchRegress, MissingExplainKeyIsARegression) {
+  const BenchDoc base = parse_bench_json("{\"explain.total_stall\": 100}");
+  const BenchDoc fresh = parse_bench_json("{\"x\": 1}");
+  DiffOptions opt;
+  opt.explain_tol = 1.0;  // tolerance never excuses a vanished metric
+  const DiffReport r = diff_bench(base, fresh, opt);
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_EQ(r.regressions[0].key, "explain.total_stall");
+}
+
+TEST(BenchRegress, EmptyExplainClassFallsBackToExact) {
+  const BenchDoc base = parse_bench_json("{\"explain.total_stall\": 100}");
+  const BenchDoc fresh = parse_bench_json("{\"explain.total_stall\": 105}");
+  DiffOptions opt;
+  opt.explain_substrings.clear();
+  opt.explain_tol = 1.0;  // without the class the tolerance is inert
+  EXPECT_FALSE(diff_bench(base, fresh, opt).ok());
+}
+
 }  // namespace
 }  // namespace urn::obs

@@ -11,7 +11,10 @@
 /// intentionally noisy metrics.  Throughput keys (default substring
 /// ".noderate.") form a rate class: they must be present and numeric but
 /// are never compared exactly — `--rate-tol 0.3` additionally fails a
-/// fresh rate more than 30% below the baseline (one-sided).
+/// fresh rate more than 30% below the baseline (one-sided).  Attribution
+/// keys (default substring "explain.") form a fourth class with their own
+/// two-sided `--explain-tol`; at the default 0 they stay exact, so the
+/// committed gate remains bit-identical.
 ///
 /// Examples:
 ///   urn_bench_diff --baseline bench/baseline --fresh build/bench_json
@@ -95,6 +98,13 @@ int main(int argc, char** argv) {
   flags.add_double("rate-tol", 0.0,
                    "one-sided relative tolerance for rate keys: fail when "
                    "fresh < baseline*(1-tol); 0 disables the value check");
+  flags.add_string("explain-keys", "explain.",
+                   "comma-separated key substrings treated as attribution "
+                   "metrics: compared two-sided under --explain-tol "
+                   "(empty = no explain class)");
+  flags.add_double("explain-tol", 0.0,
+                   "two-sided tolerance for explain keys: allowed drift is "
+                   "tol + tol*|baseline|; 0 keeps the class exact");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
@@ -119,6 +129,8 @@ int main(int argc, char** argv) {
   options.skip_substrings = split_csv(flags.get_string("skip"));
   options.rate_substrings = split_csv(flags.get_string("rate-keys"));
   options.rate_rel_tol = flags.get_double("rate-tol");
+  options.explain_substrings = split_csv(flags.get_string("explain-keys"));
+  options.explain_tol = flags.get_double("explain-tol");
 
   const std::vector<fs::path> baseline_files =
       collect_bench_files(baseline_root);

@@ -24,6 +24,7 @@
 
 #include "obs/bintrace.hpp"
 #include "obs/chrome.hpp"
+#include "obs/explain.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
 #include "obs/trace.hpp"
@@ -39,6 +40,9 @@ int main(int argc, char** argv) {
                 "the run's kappa2; enables the R -> A_{tc(k2+1)} "
                 "multiple-of check (0 = skip)");
   flags.add_bool("timelines", false, "print one line per node");
+  flags.add_bool("stats", false,
+                 "print one line of per-kind event counts + slot range "
+                 "and exit (no validation)");
   flags.add_int("max-violations", 10, "violations to print in detail");
   flags.add_string("metrics-out", "",
                    "re-derive the per-window metrics series from the log "
@@ -72,6 +76,14 @@ int main(int argc, char** argv) {
   if (!log.ok) {
     std::fprintf(stderr, "error: %s\n", log.error.c_str());
     return 2;
+  }
+  if (flags.get_bool("stats")) {
+    // The quick indexer (shared with urn_explain): per-kind counts and
+    // slot range, one line, no validation.
+    const obs::TraceStats stats = obs::compute_trace_stats(log.events);
+    std::printf("%s: %s %s\n", path.c_str(),
+                log.binary ? "binary" : "jsonl", stats.one_line().c_str());
+    return 0;
   }
   std::printf("%s: %s, %zu records, %zu events, %zu malformed\n",
               path.c_str(), log.binary ? "binary" : "jsonl", log.records,
