@@ -14,8 +14,9 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace urn;
+  const bench::TraceArgs trace = bench::parse_trace_args(argc, argv, "e2");
   bench::banner("E2", "decision time vs Delta at fixed n (Thm 3 / Cor 2)");
 
   const std::size_t n = 256;
@@ -35,7 +36,8 @@ int main() {
     const auto agg = analysis::run_core_trials(
         net.graph, mp.params,
         analysis::uniform_schedule(n, 2 * mp.params.threshold()), trials,
-        mix_seed(0xE2F0, static_cast<std::uint64_t>(side * 10)));
+        mix_seed(0xE2F0, static_cast<std::uint64_t>(side * 10)),
+        trace.exec());
     const double logn = std::log(static_cast<double>(n));
     const double normalized =
         agg.mean_latency.mean() / (mp.delta * logn);
@@ -57,6 +59,13 @@ int main() {
   std::printf("Linear fit of mean T against Delta*ln n: slope=%.1f "
               "intercept=%.0f R^2=%.3f\n",
               fit.slope, fit.intercept, fit.r_squared);
+  bench::BenchSummary summary("e2_time_vs_delta");
+  summary.set("fit.slope", fit.slope);
+  summary.set("fit.r_squared", fit.r_squared);
+  summary.set("trials", static_cast<std::uint64_t>(trials));
+  summary.set("jobs", static_cast<std::uint64_t>(trace.resolved_jobs()));
+  summary.add_profile();
+  summary.emit();
   std::printf("Paper shape: T = O(Delta log n) on UDGs -> expect R^2 near 1 "
               "and roughly constant T/(Delta*ln n).\n");
   return 0;

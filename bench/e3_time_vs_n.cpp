@@ -15,8 +15,9 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace urn;
+  const bench::TraceArgs trace = bench::parse_trace_args(argc, argv, "e3");
   bench::banner("E3", "decision time vs n at fixed density (Thm 3 / Cor 2)");
 
   const std::size_t trials = 6;
@@ -36,7 +37,7 @@ int main() {
     const auto agg = analysis::run_core_trials(
         net.graph, mp.params,
         analysis::uniform_schedule(n, 2 * mp.params.threshold()), trials,
-        mix_seed(0xE3F0, n));
+        mix_seed(0xE3F0, n), trace.exec());
     const double logn = std::log(static_cast<double>(n));
     xs.push_back(static_cast<double>(mp.delta) * logn);
     ys.push_back(agg.mean_latency.mean());
@@ -55,6 +56,13 @@ int main() {
   const LinearFit fit = fit_line(xs, ys);
   std::printf("Linear fit of mean T against Delta*ln n: slope=%.1f R^2=%.3f\n",
               fit.slope, fit.r_squared);
+  bench::BenchSummary summary("e3_time_vs_n");
+  summary.set("fit.slope", fit.slope);
+  summary.set("fit.r_squared", fit.r_squared);
+  summary.set("trials", static_cast<std::uint64_t>(trials));
+  summary.set("jobs", static_cast<std::uint64_t>(trace.resolved_jobs()));
+  summary.add_profile();
+  summary.emit();
   std::printf("Paper shape: at constant density a 16x larger network only "
               "costs a log-factor more time per node.\n");
   return 0;

@@ -15,8 +15,9 @@
 #include "graph/generators.hpp"
 #include "support/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace urn;
+  const bench::TraceArgs trace = bench::parse_trace_args(argc, argv, "e8");
   bench::banner("E8", "obstacle BIGs and unit ball graphs (Cor 3, Lemma 9)");
 
   const std::size_t trials = 6;
@@ -35,7 +36,7 @@ int main() {
     const auto agg = analysis::run_core_trials(
         net.graph, mp.params,
         analysis::uniform_schedule(160, 2 * mp.params.threshold()), trials,
-        mix_seed(0xE8F0, walls));
+        mix_seed(0xE8F0, walls), trace.exec());
     t1.add_row(
         {analysis::Table::num(static_cast<std::uint64_t>(walls)),
          analysis::Table::num(static_cast<std::uint64_t>(net.graph.num_edges())),
@@ -62,7 +63,7 @@ int main() {
     const auto agg = analysis::run_core_trials(
         ball.graph, mp.params,
         analysis::uniform_schedule(110, 2 * mp.params.threshold()), trials,
-        mix_seed(0xE8C0, dim));
+        mix_seed(0xE8C0, dim), trace.exec());
     t2.add_row(
         {analysis::Table::num(static_cast<std::uint64_t>(dim)),
          analysis::Table::num(static_cast<std::uint64_t>(mp.delta)),
@@ -75,6 +76,11 @@ int main() {
              static_cast<std::uint64_t>(mp.kappa2 * mp.delta))});
   }
   t2.emit();
+  bench::BenchSummary summary("e8_big");
+  summary.set("trials", static_cast<std::uint64_t>(trials));
+  summary.set("jobs", static_cast<std::uint64_t>(trace.resolved_jobs()));
+  summary.add_profile();
+  summary.emit();
   std::printf("Paper shape: walls shrink edges but kappa stays a small "
               "constant (the algorithm never relied on disk geometry); in "
               "UBGs kappa2 grows with the doubling dimension and the "

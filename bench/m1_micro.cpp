@@ -113,6 +113,105 @@ BENCHMARK(BM_ProtocolSlotsTraced)
     ->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
+// ---- Data-layout family ---------------------------------------------------
+// The SoA engine-core numbers: the batched draw loop replaced per-draw
+// double conversion with one integer threshold compare, and the per-slot
+// decided/awake scans walk a one-byte-per-node klass array instead of
+// scattered node objects.  These pin both effects in isolation; m2's
+// whole-run rates show what they buy end to end.
+
+void BM_BernoulliPerDraw(benchmark::State& state) {
+  // Pre-SoA style: one uint64→double conversion + double compare per
+  // node per slot (p = p_active at Δ=101, κ₂=12 — the m2 gate cell).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double p = 1.0 / 1212.0;
+  std::vector<Rng> rngs;
+  rngs.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) rngs.emplace_back(mix_seed(7, v));
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (rngs[v].uniform() < p) ++hits;
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BernoulliPerDraw)->Arg(2048);
+
+void BM_BernoulliBatch(benchmark::State& state) {
+  // The batch_slots draw: raw 53-bit mantissa against a precomputed
+  // integer threshold — bit-identical accept/reject to uniform() < p
+  // (proof in core::ColoringNode::batch_slots), no int→double convert.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double p = 1.0 / 1212.0;
+  const auto tx_cut = static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
+  std::vector<Rng> rngs;
+  rngs.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) rngs.emplace_back(mix_seed(7, v));
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if ((rngs[v]() >> 11) < tx_cut) ++hits;
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BernoulliBatch)->Arg(2048);
+
+/// Stand-in for the pre-SoA node object: the hot fields the old decided
+/// scan loaded, padded by the cold payload (queue, competitor lists,
+/// stats, transition log) that rode along in every cache line fetch.
+struct AosScanNode {
+  std::uint8_t phase = 0;
+  bool active = false;
+  std::int64_t counter = 0;
+  std::int64_t passive_remaining = 0;
+  std::int32_t color_index = 0;
+  std::byte cold[160]{};
+};
+
+void BM_AwakeScanAoS(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<AosScanNode> nodes(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    nodes[v].phase = v % 5 == 0 ? 1 : 2;  // 20% undecided, like late-run
+  }
+  std::uint64_t decided = 0;
+  for (auto _ : state) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (nodes[v].phase == 2) ++decided;
+    }
+  }
+  benchmark::DoNotOptimize(decided);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AwakeScanAoS)->Arg(2048)->Arg(100000);
+
+void BM_AwakeScanSoA(benchmark::State& state) {
+  // Same scan over the engine-owned hot block: one byte per node.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::ColoringHot hot(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    hot.klass[v] = v % 5 == 0 ? core::ColoringHot::kCount
+                              : core::ColoringHot::kDecidedOther;
+  }
+  std::uint64_t decided = 0;
+  for (auto _ : state) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (hot.decided(static_cast<graph::NodeId>(v))) ++decided;
+    }
+  }
+  benchmark::DoNotOptimize(decided);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AwakeScanSoA)->Arg(2048)->Arg(100000);
+
 void BM_EventSinkRecord(benchmark::State& state) {
   // Raw sink throughput: how fast can a RingSink absorb events.
   obs::RingSink ring(1 << 12);

@@ -57,6 +57,10 @@ struct CellSpec {
   std::size_t walls = 0;  ///< BIG only
   std::string pattern;    ///< "sync" | "uniform" | "delayed"
   std::uint64_t seed = 0;
+  /// Hard slot cap (0 = run to quiescence).  The n=100k cells use this:
+  /// a capped fixed-slot window keeps the exact keys deterministic while
+  /// holding the cell to seconds instead of a full-convergence run.
+  radio::Slot max_slots = 0;
 };
 
 struct CellResult {
@@ -124,9 +128,11 @@ CellResult run_cell(const CellSpec& spec, std::size_t reps,
     const core::RunResult run =
         telemetry != nullptr
             ? core::run_coloring_traced(g, params, schedule,
-                                        mix_seed(0x32AC5D, spec.seed), topts)
+                                        mix_seed(0x32AC5D, spec.seed), topts,
+                                        spec.max_slots)
             : core::run_coloring(g, params, schedule,
-                                 mix_seed(0x32AC5D, spec.seed));
+                                 mix_seed(0x32AC5D, spec.seed),
+                                 spec.max_slots);
     const std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0;
     r.slots_run = static_cast<std::int64_t>(run.medium.slots_run);
@@ -154,6 +160,10 @@ std::vector<CellSpec> make_grid(bool smoke) {
       grid.push_back({"udg", 96, 6.5, 1.5, 0, p, 1});
       grid.push_back({"big", 96, 6.5, 1.5, 12, p, 2});
     }
+    // Capped n=100k cell: working set ~100x the L2-resident grid above
+    // (4.8 MB of RNG state alone), so cache behavior at scale shows up
+    // even in the fixture — the small cap keeps the sanitizer legs fast.
+    grid.push_back({"udg", 100000, 210.0, 1.5, 0, "sync", 14, 600});
     return grid;
   }
   for (const char* p : patterns_full) {
@@ -161,6 +171,10 @@ std::vector<CellSpec> make_grid(bool smoke) {
     grid.push_back({"udg", 2048, 14.5, 1.5, 0, p, 12});   // Δ ≥ 64 (gate)
     grid.push_back({"big", 1024, 18.0, 1.5, 40, p, 13});  // walls cut links
   }
+  // Memory-scale cell: 100k nodes (~10 MB hot state + RNG streams) in a
+  // fixed 12k-slot window.  Quiescence at this n takes minutes; a capped
+  // window measures the same hot loop with deterministic exact keys.
+  grid.push_back({"udg", 100000, 210.0, 1.5, 0, "sync", 14, 12000});
   return grid;
 }
 

@@ -19,27 +19,30 @@ static_assert(static_cast<std::uint8_t>(Phase::kDecided) ==
 
 void ColoringNode::on_wake(radio::SlotContext& ctx) {
   URN_CHECK(params_ != nullptr);
+  URN_CHECK(hot_ != nullptr);  // engines attach_hot before any callback
   URN_CHECK(id_ == ctx.id);
   enter_verify(0, ctx);  // upon waking up, a node is initially in A_0
 }
 
 void ColoringNode::enter_verify(std::int32_t color_index,
                                 const radio::SlotContext& ctx) {
-  phase_ = Phase::kVerify;
+  hot_->klass[id_] = ColoringHot::kPassive;
   color_index_ = color_index;
-  passive_remaining_ = passive_slots_;
-  active_ = false;
-  counter_ = 0;
-  competitors_.clear();  // P_v := ∅ (Alg. 1 l. 1)
+  hot_->passive_remaining[id_] = passive_slots_;
+  hot_->counter[id_] = 0;
+  clear_competitors();  // P_v := ∅ (Alg. 1 l. 1)
   ++stats_.verify_states;
   record_transition(ctx.now, ctx);
 }
 
 void ColoringNode::enter_decided(std::int32_t color_index,
                                  const radio::SlotContext& ctx) {
-  phase_ = Phase::kDecided;
+  // kLeader ⟺ decided with color 0: only the A₀ threshold decision
+  // reaches here with color_index == 0 (Alg. 3's leader entry).
+  hot_->klass[id_] = color_index == 0 ? ColoringHot::kLeader
+                                      : ColoringHot::kDecidedOther;
   color_index_ = color_index;  // color_v := i (Alg. 3 l. 1)
-  competitors_.clear();
+  clear_competitors();
   if (color_index == 0) {
     next_tc_ = 0;  // tc := 0, Q := ∅ (Alg. 3 l. 7–8)
     queue_.clear();
@@ -52,19 +55,19 @@ void ColoringNode::record_transition(Slot slot,
                                      const radio::SlotContext& ctx) {
   if (ctx.tracing()) {
     ctx.emit(obs::Event::phase_change(
-        slot, id_, static_cast<std::uint8_t>(phase_), color_index_));
+        slot, id_, static_cast<std::uint8_t>(phase()), color_index_));
   }
   if (transitions_.size() >= kMaxTransitions) return;
   // A well-behaved run needs ≤ κ₂ + 3 entries; one up-front reservation
   // avoids the doubling reallocations on every node's log.
   if (transitions_.empty()) transitions_.reserve(8);
-  transitions_.push_back({slot, phase_, color_index_});
+  transitions_.push_back({slot, phase(), color_index_});
 }
 
 
 void ColoringNode::on_receive(radio::SlotContext& ctx,
                               const radio::Message& msg) {
-  switch (phase_) {
+  switch (phase()) {
     case Phase::kVerify: {
       // A message from a node in C_i covering us (Alg. 1 l. 10/23)?
       const bool from_c0 = (msg.type == radio::MsgType::kDecided &&
@@ -72,7 +75,7 @@ void ColoringNode::on_receive(radio::SlotContext& ctx,
                            msg.type == radio::MsgType::kAssign;
       if (color_index_ == 0 && from_c0) {
         leader_ = msg.sender;  // L(v) := w
-        phase_ = Phase::kRequest;
+        hot_->klass[id_] = ColoringHot::kRequest;
         record_transition(ctx.now, ctx);
         return;
       }
@@ -84,17 +87,19 @@ void ColoringNode::on_receive(radio::SlotContext& ctx,
       // Competitor report M_A^i(w, c_w) (Alg. 1 l. 6–9 / 27–30).
       if (msg.type == radio::MsgType::kCompete &&
           msg.color_index == color_index_) {
+        const bool active = hot_->klass[id_] == ColoringHot::kCount;
+        std::int64_t& counter = hot_->counter[id_];
         switch (params_->reset_policy) {
           case ResetPolicy::kCriticalRange: {
             store_competitor(msg.sender, msg.counter, ctx.now);
-            if (active_) {
+            if (active) {
               const std::int64_t range = critical_range_now();
-              if (std::llabs(counter_ - msg.counter) <= range) {
-                counter_ = chi_of_competitors(ctx.now);  // Alg. 1 l. 29
+              if (std::llabs(counter - msg.counter) <= range) {
+                counter = chi_of_competitors(ctx.now);  // Alg. 1 l. 29
                 ++stats_.resets;
                 if (ctx.tracing()) {
                   ctx.emit(obs::Event::reset(ctx.now, id_, color_index_,
-                                             counter_));
+                                             counter));
                 }
               }
             }
@@ -102,8 +107,8 @@ void ColoringNode::on_receive(radio::SlotContext& ctx,
           }
           case ResetPolicy::kNaive: {
             // Strawman of Sect. 4: any higher counter resets us to 0.
-            if (active_ && msg.counter > counter_) {
-              counter_ = 0;
+            if (active && msg.counter > counter) {
+              counter = 0;
               ++stats_.resets;
               if (ctx.tracing()) {
                 ctx.emit(obs::Event::reset(ctx.now, id_, color_index_, 0));
@@ -148,22 +153,50 @@ void ColoringNode::on_receive(radio::SlotContext& ctx,
   }
 }
 
+void ColoringNode::batch_cold_slot(NodeId v, Slot now, ColoringNode* nodes,
+                                   Rng* rngs,
+                                   std::vector<radio::Message>& out) {
+  radio::SlotContext ctx;
+  ctx.id = v;
+  ctx.now = now;
+  ctx.rng = &rngs[v];
+  if (std::optional<radio::Message> msg = nodes[v].on_slot(ctx)) {
+    out.push_back(*msg);
+  }
+}
+
 void ColoringNode::store_competitor(NodeId who, std::int64_t value,
                                     Slot now) {
-  for (Competitor& c : competitors_) {
-    if (c.who == who) {
-      c.value = value;
-      c.stamp = now;
+  const NodeId* ids = comp_who_.begin();
+  const std::size_t n = comp_who_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ids[i] == who) {
+      comp_value_[i] = value;
+      comp_stamp_[i] = now;
       return;
     }
   }
-  competitors_.push_back({who, value, now});
+  comp_who_.push_back(who);
+  comp_value_.push_back(value);
+  comp_stamp_.push_back(now);
+}
+
+void ColoringNode::clear_competitors() {
+  comp_who_.clear();
+  comp_value_.clear();
+  comp_stamp_.clear();
 }
 
 std::int64_t ColoringNode::chi_of_competitors(Slot now) const {
-  std::vector<std::int64_t> aged;
-  aged.reserve(competitors_.size());
-  for (const Competitor& c : competitors_) aged.push_back(c.aged(now));
+  // Scratch reused across calls (χ runs on every activation and every
+  // counter reset; a per-call allocation was measurable).  thread_local
+  // because experiment sweeps run one engine per worker thread.
+  static thread_local std::vector<std::int64_t> aged;
+  aged.clear();
+  aged.reserve(comp_who_.size());
+  for (std::size_t i = 0; i < comp_who_.size(); ++i) {
+    aged.push_back(comp_value_[i] + (now - comp_stamp_[i]));
+  }
   return chi(aged, critical_range_now());
 }
 
@@ -177,18 +210,22 @@ constexpr std::uint32_t kMaxCheckpointList = 1u << 24;
 }  // namespace
 
 void ColoringNode::save_state(obs::postmortem::Writer& w) const {
-  w.u8(static_cast<std::uint8_t>(phase_));
-  w.boolean(active_);
+  // The URNC v1 layout predates the SoA hot block: it stores the
+  // (phase, active) pair, which the klass byte round-trips through
+  // losslessly (klass is a pure function of phase, active and color —
+  // see load_state), so checkpoints stay byte-compatible.
+  w.u8(static_cast<std::uint8_t>(phase()));
+  w.boolean(hot_->klass[id_] == ColoringHot::kCount);
   w.u32(id_);
   w.i32(color_index_);
   w.i32(tc_);
-  w.i64(counter_);
-  w.i64(passive_remaining_);
-  w.u32(static_cast<std::uint32_t>(competitors_.size()));
-  for (const Competitor& c : competitors_) {
-    w.u32(c.who);
-    w.i64(c.value);
-    w.i64(c.stamp);
+  w.i64(hot_->counter[id_]);
+  w.i64(hot_->passive_remaining[id_]);
+  w.u32(static_cast<std::uint32_t>(comp_who_.size()));
+  for (std::size_t i = 0; i < comp_who_.size(); ++i) {
+    w.u32(comp_who_[i]);
+    w.i64(comp_value_[i]);
+    w.i64(comp_stamp_[i]);
   }
   w.u32(leader_);
   // RingQueue serialized front-to-back; push_back on load rebuilds the
@@ -213,25 +250,36 @@ void ColoringNode::save_state(obs::postmortem::Writer& w) const {
 }
 
 bool ColoringNode::load_state(obs::postmortem::Reader& r) {
+  URN_CHECK(hot_ != nullptr);
   const std::uint8_t phase = r.u8();
   if (phase > static_cast<std::uint8_t>(Phase::kDecided)) return false;
-  phase_ = static_cast<Phase>(phase);
-  active_ = r.boolean();
+  const bool active = r.boolean();
   if (r.u32() != id_) return false;  // checkpoint applied to wrong node
   color_index_ = r.i32();
   tc_ = r.i32();
-  counter_ = r.i64();
-  passive_remaining_ = r.i64();
+  hot_->counter[id_] = r.i64();
+  hot_->passive_remaining[id_] = r.i64();
+  // Reconstruct the klass byte from the v1 (phase, active, color) triple.
+  switch (static_cast<Phase>(phase)) {
+    case Phase::kVerify:
+      hot_->klass[id_] = active ? ColoringHot::kCount : ColoringHot::kPassive;
+      break;
+    case Phase::kRequest:
+      hot_->klass[id_] = ColoringHot::kRequest;
+      break;
+    case Phase::kDecided:
+      hot_->klass[id_] = color_index_ == 0 ? ColoringHot::kLeader
+                                           : ColoringHot::kDecidedOther;
+      break;
+  }
 
   const std::uint32_t n_comp = r.u32();
   if (!r.ok() || n_comp > kMaxCheckpointList) return false;
-  competitors_.clear();
+  clear_competitors();
   for (std::uint32_t i = 0; i < n_comp; ++i) {
-    Competitor c;
-    c.who = r.u32();
-    c.value = r.i64();
-    c.stamp = r.i64();
-    competitors_.push_back(c);
+    comp_who_.push_back(r.u32());
+    comp_value_.push_back(r.i64());
+    comp_stamp_.push_back(r.i64());
   }
   leader_ = r.u32();
 

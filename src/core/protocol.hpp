@@ -27,9 +27,22 @@
 ///    `remember_served` extension suppresses re-admission (ablation A3);
 ///  * any message from a node in C₀ (beacon or assignment) identifies a
 ///    leader to an A₀ listener (Fig. 2 transition M_C⁰).
+///
+/// **Draw-order spec v1** (fixed in PR 5, preserved verbatim since):
+/// every node draws only from its own `mix_seed(seed, id)` xoshiro
+/// stream, in its awake-list visit order — (wake slot, id) ascending
+/// while the network is waking, id-ascending once all nodes are awake —
+/// and the medium draws drop chances from `mix_seed(seed, 0xFADED)` in
+/// first-touch listener order.  Every engine (optimized, misaligned,
+/// naive reference) and both protocol sweeps (the scalar `on_slot` loop
+/// and the SoA `batch_slots` pass) implement this same sequence, which
+/// is what makes them bit-comparable; `tests/test_reference_diff.cpp`
+/// is the arbiter.  Changing the spec (a v2) means re-baselining every
+/// exact key under bench/.
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -38,7 +51,9 @@
 #include "graph/coloring.hpp"
 #include "radio/engine.hpp"
 #include "radio/message.hpp"
+#include "support/check.hpp"
 #include "support/containers.hpp"
+#include "support/rng.hpp"
 
 namespace urn::core {
 
@@ -50,6 +65,49 @@ enum class Phase : std::uint8_t {
   kVerify,   ///< A_i: verifying / competing for color i (Algorithm 1)
   kRequest,  ///< R: requesting an intra-cluster color (Algorithm 2)
   kDecided,  ///< C_i: color i fixed (Algorithm 3)
+};
+
+/// Engine-owned structure-of-arrays block holding every `ColoringNode`
+/// field the per-slot sweep reads or writes.  The engine constructs one
+/// block per run and attaches every node to it (`attach_hot`); a node
+/// indexes the arrays with its own id.  The cold tail (competitor
+/// `SmallVec`, leader `RingQueue`, stats, transition log) stays inside
+/// the node object and is touched only on receive events and phase
+/// transitions, so the hot sweep streams three small arrays instead of
+/// striding over 200+-byte node records.
+///
+/// `klass` collapses the old (phase, active, leader?) triple into one
+/// byte, ordered so the per-slot dispatch and the decided test are each
+/// a single compare.  Invariants: `kLeader` ⟺ decided with color 0
+/// (only an A₀ threshold decision yields color 0), `kCount` ⟺ the old
+/// `active_` flag, and the checkpoint codec round-trips through the
+/// original (phase, active) pair so the URNC v1 layout is unchanged.
+struct ColoringHot {
+  enum Klass : std::uint8_t {
+    kPassive = 0,       ///< A_i, passive listening (Alg. 1 l. 4–14)
+    kCount = 1,         ///< A_i, actively counting (Alg. 1 l. 15–26)
+    kRequest = 2,       ///< R, requesting (Algorithm 2)
+    kDecidedOther = 3,  ///< C_i with i > 0, announcing (Alg. 3 l. 4)
+    kLeader = 4,        ///< C₀, serving its cluster (Algorithm 3)
+  };
+
+  explicit ColoringHot(std::size_t n)
+      : klass(n, kPassive), counter(n, 0), passive_remaining(n, 0) {}
+
+  /// O(1) decided test without touching the node object.
+  [[nodiscard]] bool decided(NodeId v) const {
+    return klass[v] >= kDecidedOther;
+  }
+
+  std::vector<std::uint8_t> klass;              ///< state byte per node
+  std::vector<std::int64_t> counter;            ///< c_v
+  std::vector<std::int64_t> passive_remaining;  ///< passive slots left
+
+  // Params-derived scalars shared by every node of a run (all nodes are
+  // built from one immutable `Params`); cached here so the batched sweep
+  // compares against registers instead of re-loading per-node copies.
+  std::int64_t threshold = 0;  ///< ⌈σΔ log n⌉
+  double p_active = 0.0;       ///< 1/(κ₂Δ)
 };
 
 /// Per-node event counters for experiments and ablations.
@@ -73,8 +131,17 @@ struct Transition {
 };
 
 /// One protocol participant; plugged into radio::Engine<ColoringNode>.
+///
+/// Hot per-slot state (state byte, counter, passive countdown) lives in
+/// an engine-owned `ColoringHot` SoA block — see `Hot` / `attach_hot`.
+/// A node must be attached to a block before any callback runs; the
+/// engines attach every node in their constructors, and unit tests
+/// drive a node standalone by attaching a one-entry block.
 class ColoringNode {
  public:
+  /// Engine-discovered SoA hot-state type (radio::HotStateOf).
+  using Hot = ColoringHot;
+
   ColoringNode() = default;
 
   /// \param params shared parameter set (must outlive the node)
@@ -96,16 +163,78 @@ class ColoringNode {
         critical_range0_(params->critical_range(0)),
         critical_rangeN_(params->critical_range(1)) {}
 
+  /// Point this node at the run's SoA hot block and reset its hot entry
+  /// to the pre-wake state.  Also publishes the shared Params-derived
+  /// scalars (threshold, p_active) into the block — identical for every
+  /// node of a run, asserted in debug builds.
+  void attach_hot(ColoringHot* hot) {
+    hot_ = hot;
+    URN_DCHECK(id_ < hot->klass.size());
+    URN_DCHECK(hot->threshold == 0 || hot->threshold == threshold_);
+    hot->threshold = threshold_;
+    hot->p_active = p_active_;
+    hot->klass[id_] = ColoringHot::kPassive;
+    hot->counter[id_] = 0;
+    hot->passive_remaining[id_] = 0;
+  }
+
   // --- radio::NodeProtocol interface -------------------------------------
 
   void on_wake(radio::SlotContext& ctx);
   std::optional<radio::Message> on_slot(radio::SlotContext& ctx);
   void on_receive(radio::SlotContext& ctx, const radio::Message& msg);
-  [[nodiscard]] bool decided() const { return phase_ == Phase::kDecided; }
+  [[nodiscard]] bool decided() const {
+    return hot_->klass[id_] >= ColoringHot::kDecidedOther;
+  }
+
+  /// One whole-slot protocol pass over the engine's awake list — the
+  /// structure-of-arrays replacement for calling `on_slot` per node.
+  /// Bit-identical to the scalar loop by construction (draw-order spec
+  /// v1 of PR 5 is preserved exactly):
+  ///
+  ///  * nodes are visited in ascending awake-list position — the scalar
+  ///    loop's exact order — so messages land in the same transmitter
+  ///    order (which pins the medium-RNG drop-draw sequence under
+  ///    drop_probability > 0);
+  ///  * each node's own RNG consumption is unchanged: the fast classes
+  ///    draw the one raw xoshiro word their scalar `chance(p_active)`
+  ///    would, rephrased as an exact integer compare (see the proof at
+  ///    the cutoff computation), and the cold classes (activation with
+  ///    its χ reset and possible threshold decision, leader service) run
+  ///    the full scalar `on_slot`.
+  ///
+  /// The win over the scalar loop is mechanical, not semantic: one
+  /// branch on the hot `klass` byte instead of the nested phase
+  /// dispatch, no per-node SlotContext / std::optional<Message>
+  /// construction on the non-transmitting fast path, and a Bernoulli
+  /// compare against a precomputed integer cutoff instead of an
+  /// int→double conversion + double compare per draw.  Only called on
+  /// untraced engines (no sink), where `ctx.tracing()` is false for
+  /// every node.
+  static void batch_slots(ColoringHot& hot, const NodeId* awake,
+                          std::size_t count, Slot now, ColoringNode* nodes,
+                          Rng* rngs, std::vector<radio::Message>& out);
+
+ private:
+  /// The irregular minority of `batch_slots` node-slots (activation with
+  /// its χ reset and possible threshold decision, leader service): runs
+  /// the full scalar `on_slot`, so RNG consumption and message position
+  /// match the scalar loop trivially.  Deliberately defined out of line
+  /// (protocol.cpp) — with `on_slot` expanded in place the fused loop
+  /// grows past what the compiler will keep in registers (measured ~25%
+  /// throughput loss).
+  static void batch_cold_slot(NodeId v, Slot now, ColoringNode* nodes,
+                              Rng* rngs, std::vector<radio::Message>& out);
+
+ public:
 
   // --- inspection ---------------------------------------------------------
 
-  [[nodiscard]] Phase phase() const { return phase_; }
+  [[nodiscard]] Phase phase() const {
+    const std::uint8_t k = hot_->klass[id_];
+    if (k <= ColoringHot::kCount) return Phase::kVerify;
+    return k == ColoringHot::kRequest ? Phase::kRequest : Phase::kDecided;
+  }
   /// Final color (graph::kUncolored until decided).
   [[nodiscard]] graph::Color color() const {
     return decided() ? color_index_ : graph::kUncolored;
@@ -113,16 +242,16 @@ class ColoringNode {
   /// Color index currently verified (only meaningful in kVerify).
   [[nodiscard]] std::int32_t verifying_color() const { return color_index_; }
   [[nodiscard]] bool is_leader() const {
-    return decided() && color_index_ == 0;
+    return hot_->klass[id_] == ColoringHot::kLeader;
   }
   /// Leader this node associated with (kInvalidNode for leaders / pre-R).
   [[nodiscard]] NodeId leader() const { return leader_; }
   /// Intra-cluster color received from the leader (−1 before assignment).
   [[nodiscard]] std::int32_t intra_cluster_color() const { return tc_; }
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
-  [[nodiscard]] std::int64_t counter() const { return counter_; }
+  [[nodiscard]] std::int64_t counter() const { return hot_->counter[id_]; }
   /// Current competitor-list size |P_v|.
-  [[nodiscard]] std::size_t competitors() const { return competitors_.size(); }
+  [[nodiscard]] std::size_t competitors() const { return comp_who_.size(); }
   /// The node's state-transition history (capped at kMaxTransitions).
   [[nodiscard]] const std::vector<Transition>& transitions() const {
     return transitions_;
@@ -143,42 +272,27 @@ class ColoringNode {
   [[nodiscard]] bool load_state(obs::postmortem::Reader& r);
 
  private:
-  /// A locally stored competitor counter d_v(w): `value` as of `stamp`,
-  /// aged by +1 per slot (Alg. 1 l. 5/18), evaluated lazily.
-  struct Competitor {
-    NodeId who = graph::kInvalidNode;
-    std::int64_t value = 0;
-    Slot stamp = 0;
-
-    [[nodiscard]] std::int64_t aged(Slot now) const {
-      return value + (now - stamp);
-    }
-  };
-
   void enter_verify(std::int32_t color_index, const radio::SlotContext& ctx);
   void enter_decided(std::int32_t color_index, const radio::SlotContext& ctx);
   void record_transition(Slot slot, const radio::SlotContext& ctx);
   void store_competitor(NodeId who, std::int64_t value, Slot now);
+  void clear_competitors();
   [[nodiscard]] std::int64_t chi_of_competitors(Slot now) const;
   std::optional<radio::Message> leader_slot(radio::SlotContext& ctx);
+  std::optional<radio::Message> count_slot(radio::SlotContext& ctx);
 
   /// ⌈γζ_i log n⌉ for the current color index, from the cached pair.
   [[nodiscard]] std::int64_t critical_range_now() const {
     return color_index_ == 0 ? critical_range0_ : critical_rangeN_;
   }
 
-  // Hot fields first: everything `on_slot` touches in its non-transmitting
-  // fast paths (a decided node reads phase_/color_index_/p_active_; an
-  // active verifier additionally counter_/threshold_) sits in the first
-  // 64 bytes, so the engine's per-slot sweep over all nodes streams one
-  // cache line per node instead of scattering across the object.
-  Phase phase_ = Phase::kVerify;
-  bool active_ = false;
+  // Hot per-slot state lives in the engine-owned SoA block; the fields
+  // kept here are read on transitions, receive events, or only for the
+  // transmitting minority of slots.
+  ColoringHot* hot_ = nullptr;    ///< run-wide SoA block (attach_hot)
   NodeId id_ = graph::kInvalidNode;
   std::int32_t color_index_ = 0;  ///< i of the current A_i / C_i
   std::int32_t tc_ = -1;          ///< intra-cluster color
-  std::int64_t counter_ = 0;      ///< c_v
-  std::int64_t passive_remaining_ = 0;
   std::int64_t threshold_ = 0;    ///< cached ⌈σΔ log n⌉
   double p_active_ = 0.0;         ///< cached 1/(κ₂Δ)
   double p_leader_ = 0.0;         ///< cached 1/κ₂
@@ -190,7 +304,16 @@ class ColoringNode {
   std::int64_t critical_range0_ = 0;  ///< ζ = 1 (color index 0)
   std::int64_t critical_rangeN_ = 0;  ///< ζ = Δ (color index > 0)
 
-  SmallVec<Competitor, 8> competitors_;  ///< P_v with stored d_v(w)
+  // P_v with the stored counter copies d_v(w), aged lazily as
+  // value + (now − stamp) (Alg. 1 l. 5/18).  Parallel arrays rather than
+  // an array of records: every matching competitor report delivered to a
+  // verifying node scans the membership for the sender — the single
+  // hottest receive-path loop, ~10⁸ executions in a large run — and the
+  // id-only scan walks contiguous 4-byte keys instead of striding
+  // 24-byte structs (6× fewer cache lines per scan).
+  SmallVec<NodeId, 8> comp_who_;          ///< P_v membership (scan key)
+  SmallVec<std::int64_t, 8> comp_value_;  ///< d_v(w) as of comp_stamp_
+  SmallVec<Slot, 8> comp_stamp_;          ///< slot the value was stored
 
   NodeId leader_ = graph::kInvalidNode;  ///< L(v)
 
@@ -213,35 +336,29 @@ class ColoringNode {
 
 inline std::optional<radio::Message> ColoringNode::on_slot(
     radio::SlotContext& ctx) {
-  switch (phase_) {
-    case Phase::kVerify: {
-      if (!active_) {
-        // Passive listening phase (Alg. 1 l. 4–14): d_v(w) copies age
-        // implicitly; no transmissions.
-        if (passive_remaining_ > 0) {
-          --passive_remaining_;
-          return std::nullopt;
-        }
-        // c_v := χ(P_v) (Alg. 1 l. 15), then become active.  The naive /
-        // no-reset ablations skip χ and start from 0.
-        counter_ = (params_->reset_policy == ResetPolicy::kCriticalRange)
-                       ? chi_of_competitors(ctx.now)
-                       : 0;
-        active_ = true;
+  switch (hot_->klass[id_]) {
+    case ColoringHot::kPassive: {
+      // Passive listening phase (Alg. 1 l. 4–14): d_v(w) copies age
+      // implicitly; no transmissions.
+      std::int64_t& passive = hot_->passive_remaining[id_];
+      if (passive > 0) {
+        --passive;
+        return std::nullopt;
       }
-      ++counter_;  // Alg. 1 l. 17
-      if (counter_ >= threshold_) {
-        // Alg. 1 l. 19–20: decide color i and start Algorithm 3 at once.
-        enter_decided(color_index_, ctx);
-        return on_slot(ctx);
-      }
-      if (ctx.random().chance(p_active_)) {
-        return radio::make_compete(id_, color_index_, counter_);
-      }
-      return std::nullopt;
+      // c_v := χ(P_v) (Alg. 1 l. 15), then become active.  The naive /
+      // no-reset ablations skip χ and start from 0.
+      hot_->counter[id_] =
+          (params_->reset_policy == ResetPolicy::kCriticalRange)
+              ? chi_of_competitors(ctx.now)
+              : 0;
+      hot_->klass[id_] = ColoringHot::kCount;
+      return count_slot(ctx);
     }
 
-    case Phase::kRequest: {
+    case ColoringHot::kCount:
+      return count_slot(ctx);
+
+    case ColoringHot::kRequest: {
       // Alg. 2 l. 2: transmit M_R(v, L(v)) with probability 1/(κ₂Δ).
       if (ctx.random().chance(p_active_)) {
         return radio::make_request(id_, leader_);
@@ -249,14 +366,30 @@ inline std::optional<radio::Message> ColoringNode::on_slot(
       return std::nullopt;
     }
 
-    case Phase::kDecided: {
-      if (color_index_ == 0) return leader_slot(ctx);
+    case ColoringHot::kLeader:
+      return leader_slot(ctx);
+
+    default: {  // kDecidedOther
       // Alg. 3 l. 4: non-leader C_i keeps announcing its color.
       if (ctx.random().chance(p_active_)) {
         return radio::make_decided(id_, color_index_);
       }
       return std::nullopt;
     }
+  }
+}
+
+inline std::optional<radio::Message> ColoringNode::count_slot(
+    radio::SlotContext& ctx) {
+  std::int64_t& counter = hot_->counter[id_];
+  ++counter;  // Alg. 1 l. 17
+  if (counter >= threshold_) {
+    // Alg. 1 l. 19–20: decide color i and start Algorithm 3 at once.
+    enter_decided(color_index_, ctx);
+    return on_slot(ctx);
+  }
+  if (ctx.random().chance(p_active_)) {
+    return radio::make_compete(id_, color_index_, counter);
   }
   return std::nullopt;
 }
@@ -288,6 +421,93 @@ inline std::optional<radio::Message> ColoringNode::leader_slot(
     return radio::make_decided(id_, 0);
   }
   return std::nullopt;
+}
+
+inline void ColoringNode::batch_slots(ColoringHot& hot, const NodeId* awake,
+                                      std::size_t count, Slot now,
+                                      ColoringNode* nodes, Rng* rngs,
+                                      std::vector<radio::Message>& out) {
+  const double p = hot.p_active;
+  if (!(p > 0.0 && p < 1.0)) {
+    // Degenerate transmit probability: `chance(p)` consumes no
+    // randomness, so there is nothing to batch — run the scalar slots.
+    for (std::size_t i = 0; i < count; ++i) {
+      const NodeId v = awake[i];
+      radio::SlotContext ctx;
+      ctx.id = v;
+      ctx.now = now;
+      ctx.rng = &rngs[v];
+      if (std::optional<radio::Message> msg = nodes[v].on_slot(ctx)) {
+        out.push_back(*msg);
+      }
+    }
+    return;
+  }
+
+  // Exact integer form of the Bernoulli draw.  `uniform() < p` computes
+  // (double)u · 2⁻⁵³ < p with u = (x >> 11) ∈ [0, 2⁵³); every step is
+  // exact (u has ≤ 53 significant bits, and scaling by a power of two
+  // neither rounds nor over/underflows here), so the comparison holds
+  // iff u < p·2⁵³ over the reals, iff u < ⌈p·2⁵³⌉ for integral u.  With
+  // 0 < p < 1, p·2⁵³ and its ceiling are themselves computed exactly in
+  // double, so the cutoff is the true ⌈p·2⁵³⌉ and the integer compare
+  // reproduces the double compare bit-for-bit — while keeping the draw
+  // free of the int→double conversion on the critical path.
+  const auto tx_cut = static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
+
+  std::uint8_t* klass = hot.klass.data();
+  std::int64_t* counter = hot.counter.data();
+  std::int64_t* passive = hot.passive_remaining.data();
+  const std::int64_t threshold = hot.threshold;
+
+  // The awake list holds distinct live node ids and is id-sorted from
+  // the slot the last node wakes, so a full list IS the identity
+  // permutation: walk ids directly and spare the hot loop one dependent
+  // load per node-slot.  This is the steady state of every long run
+  // (all awake, none deactivated).
+  const bool identity = count == hot.klass.size();
+
+  // One fused pass in scalar node order.  The branch chain is ordered
+  // by late-run frequency: once a node decides it spends every further
+  // slot in kDecidedOther, so long runs are dominated by the first
+  // test, a one-byte load + compare + one RNG draw per node-slot.  The
+  // irregular work (activation, threshold decisions, leader service)
+  // lives out of line in `batch_cold_slot` so the loop body stays small
+  // enough for the compiler to keep its state in registers.
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId v = identity ? static_cast<NodeId>(i) : awake[i];
+    const std::uint8_t k = klass[v];
+    if (k == ColoringHot::kDecidedOther) {
+      // Alg. 3 l. 4: non-leader C_i keeps announcing its color.
+      if ((rngs[v]() >> 11) < tx_cut) {
+        out.push_back(radio::make_decided(v, nodes[v].color_index_));
+      }
+    } else if (k == ColoringHot::kCount) {
+      const std::int64_t c = counter[v] + 1;  // Alg. 1 l. 17
+      if (c >= threshold) {
+        batch_cold_slot(v, now, nodes, rngs, out);  // decides (re-increments)
+      } else {
+        counter[v] = c;
+        if ((rngs[v]() >> 11) < tx_cut) {
+          out.push_back(radio::make_compete(v, nodes[v].color_index_, c));
+        }
+      }
+    } else if (k == ColoringHot::kPassive) {
+      std::int64_t& left = passive[v];
+      if (left > 0) {
+        --left;  // Alg. 1 l. 4–14: listen silently
+      } else {
+        batch_cold_slot(v, now, nodes, rngs, out);  // activates (χ, …)
+      }
+    } else if (k == ColoringHot::kRequest) {
+      // Alg. 2 l. 2: transmit M_R(v, L(v)) with probability 1/(κ₂Δ).
+      if ((rngs[v]() >> 11) < tx_cut) {
+        out.push_back(radio::make_request(v, nodes[v].leader_));
+      }
+    } else {  // kLeader
+      batch_cold_slot(v, now, nodes, rngs, out);  // Algorithm 3 service
+    }
+  }
 }
 
 static_assert(radio::NodeProtocol<ColoringNode>);

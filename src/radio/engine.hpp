@@ -41,6 +41,7 @@
 #include <concepts>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -70,7 +71,6 @@ static_assert(static_cast<std::uint8_t>(MsgType::kRequest) ==
 struct SlotContext {
   NodeId id = graph::kInvalidNode;
   Slot now = 0;        ///< global slot index
-  Slot awake_for = 0;  ///< slots since this node's wake-up (0 in the wake slot)
   Rng* rng = nullptr;  ///< per-node deterministic stream
 
   /// Optional event hook (set by a tracing engine; null when tracing is
@@ -96,6 +96,49 @@ concept NodeProtocol = requires(P p, const P cp, SlotContext& ctx,
   { p.on_receive(ctx, msg) };
   { cp.decided() } -> std::convertible_to<bool>;
 };
+
+// ---- SoA hot-state discovery ----------------------------------------------
+// Data-oriented protocols keep their per-slot state in an engine-owned
+// structure-of-arrays block instead of scattered across the node objects
+// (core::ColoringHot is the exemplar).  A protocol opts in by declaring
+//
+//     using Hot = <block type>;               // constructible from n
+//     void attach_hot(Hot*);                  // point a node at the block
+//     static void batch_slots(Hot&, const NodeId* awake, std::size_t count,
+//                             Slot now, P* nodes, Rng* rngs,
+//                             std::vector<Message>& out);
+//     bool Hot::decided(NodeId) const;        // node-object-free test
+//
+// The engines then (a) own one block per run and attach every node to it
+// in their constructors, and (b) on *untraced* instantiations replace the
+// per-node `on_slot` loop with one `batch_slots` call — which must be
+// bit-identical to the scalar loop (the protocol owns that proof; the
+// traced-vs-untraced and reference-diff suites are the arbiters).
+// Protocols without a `Hot` alias get `NoHotState` and the scalar loop.
+
+/// Placeholder hot block for protocols without SoA state (zero size, the
+/// attach/batch paths compile away behind `if constexpr`).
+struct NoHotState {
+  explicit NoHotState(std::size_t /*n*/) {}
+};
+
+template <typename P, typename = void>
+struct HotStateOfT {
+  using type = NoHotState;
+};
+template <typename P>
+struct HotStateOfT<P, std::void_t<typename P::Hot>> {
+  using type = typename P::Hot;
+};
+
+/// The protocol's SoA hot-block type (NoHotState when it has none).
+template <typename P>
+using HotStateOf = typename HotStateOfT<P>::type;
+
+/// True when P declared an SoA hot block the engines must own and attach.
+template <typename P>
+inline constexpr bool kHasHotState =
+    !std::is_same_v<HotStateOf<P>, NoHotState>;
 
 /// Aggregate medium statistics for one run.
 struct RunStats {
@@ -141,19 +184,23 @@ class Engine {
       : graph_(g),
         schedule_(std::move(schedule)),
         nodes_(std::move(nodes)),
+        hot_(g.num_nodes()),
         medium_(medium),
         medium_rng_(mix_seed(seed, 0xFADEDull)),
         sink_(sink),
         status_(g.num_nodes(), 0),
         decision_slot_(g.num_nodes(), kUndecided),
         pending_live_(g.num_nodes()),
-        tx_count_(g.num_nodes(), 0),
-        tx_stamp_(g.num_nodes(), -1),
-        tx_src_(g.num_nodes(), 0) {
+        rx_(g.num_nodes(), 0) {
     URN_CHECK(medium_.drop_probability >= 0.0 &&
               medium_.drop_probability < 1.0);
     URN_CHECK(nodes_.size() == graph_.num_nodes());
     URN_CHECK(schedule_.size() == graph_.num_nodes());
+    if constexpr (kHasHotState<P>) {
+      // Attach AFTER the node vector is moved into place: the pointers
+      // nodes keep into the block stay valid for the engine's lifetime.
+      for (P& node : nodes_) node.attach_hot(&hot_);
+    }
     rngs_.reserve(graph_.num_nodes());
     for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
       rngs_.emplace_back(mix_seed(seed, v));
@@ -173,6 +220,11 @@ class Engine {
                 return wa != wb ? wa < wb : a < b;
               });
   }
+
+  // Nodes point into the engine-owned hot block; a copied or moved
+  // engine would leave them aimed at the source's block.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Attach a wall-clock span sink: each slot then records one span per
   /// runner phase (wake / protocol / medium) on `kSpanTrack`.  Only
@@ -233,6 +285,7 @@ class Engine {
       if (status_[v] == kAwakeBit) {
         awake_list_.push_back(v);
         undecided_list_.push_back(v);
+        rx_[v] = kRxAwake;  // now a listening candidate for the medium
       }
       emit([&] { return obs::Event::wake(now, v); });
       SlotContext ctx = context(v, now);
@@ -255,56 +308,73 @@ class Engine {
 
     // (2) Collect transmissions.  awake_list_ holds only live awake
     // nodes (deactivate compacts), so no per-node dead check remains.
+    // SoA protocols on untraced engines run the whole list through one
+    // `batch_slots` call (classify over the hot arrays, batched
+    // Bernoulli draws, messages in scalar order — bit-identical by the
+    // protocol's contract); traced engines keep the scalar loop, whose
+    // per-node contexts carry the event hook.
     const std::uint64_t ts_protocol = span_now();
     transmitters_.clear();
-    for (NodeId v : awake_list_) {
-      SlotContext ctx = context(v, now);
-      if (std::optional<Message> msg = nodes_[v].on_slot(ctx)) {
-        URN_DCHECK(msg->sender == v);
-        transmitters_.push_back(*msg);
-        emit([&] {
-          return obs::Event::transmit(now, v,
-                                      static_cast<std::uint8_t>(msg->type),
-                                      msg->color_index, msg->counter);
-        });
+    if constexpr (kHasHotState<P> && !S::kEnabled) {
+      P::batch_slots(hot_, awake_list_.data(), awake_list_.size(), now,
+                     nodes_.data(), rngs_.data(), transmitters_);
+    } else {
+      for (NodeId v : awake_list_) {
+        SlotContext ctx = context(v, now);
+        if (std::optional<Message> msg = nodes_[v].on_slot(ctx)) {
+          URN_DCHECK(msg->sender == v);
+          transmitters_.push_back(*msg);
+          emit([&] {
+            return obs::Event::transmit(
+                now, v, static_cast<std::uint8_t>(msg->type),
+                msg->color_index, msg->counter);
+          });
+        }
       }
     }
     stats_.transmissions += transmitters_.size();
 
-    // (3) Resolve the medium in ONE pass: count transmitting neighbors
-    // per listener and collect the touched live listeners, deduplicated,
-    // in first-touch order.  First-touch order here equals the first-
-    // visit order of the old second transmitter×neighbor pass (both walk
-    // the same nested sequence), so delivery / collision / drop events
-    // and medium-RNG draws keep the exact same order — bit-identical
-    // results, half the edge traversals.  Sleeping and dead neighbors
-    // are skipped outright: their counts can never be read.
+    // (3) Resolve the medium in ONE pass: classify each touched live
+    // listener as clean (exactly one transmitting neighbor, with the
+    // source index) or collided, in first-touch order.  First-touch
+    // order here equals the first-visit order of the old second
+    // transmitter×neighbor pass (both walk the same nested sequence),
+    // so delivery / collision / drop events and medium-RNG draws keep
+    // the exact same order — bit-identical results, half the edge
+    // traversals.  The whole per-listener medium state lives in ONE
+    // 4-byte `rx_` word (awake flag | clean/collided/self | source), so
+    // the ~Δ random accesses per transmitter touch one cache line each
+    // instead of the three the old count/stamp/src arrays cost; the
+    // touched entries are wiped at the end of the slot (touched_ and
+    // the transmitter list enumerate exactly the dirtied words), which
+    // replaces the epoch stamps entirely.  Sleeping and dead neighbors
+    // are skipped outright: their state can never be read.
     const std::uint64_t ts_medium = span_now();
     touched_.clear();
+    URN_DCHECK(transmitters_.size() <= kRxSrcMask);
     for (std::uint32_t t = 0; t < transmitters_.size(); ++t) {
       const NodeId sender = transmitters_[t].sender;
       for (NodeId u : graph_.neighbors(sender)) {
-        if (status_[u] != kAwakeBit) continue;  // sleeping or dead
-        if (tx_stamp_[u] != now) {
-          tx_stamp_[u] = now;
-          tx_count_[u] = 1;
-          tx_src_[u] = t;  // sole candidate sender so far
+        const std::uint32_t w = rx_[u];
+        if (w == kRxAwake) {  // listening, untouched so far
+          rx_[u] = kRxAwake | kRxClean | t;  // sole candidate sender
           touched_.push_back(u);
-        } else {
-          ++tx_count_[u];
+        } else if ((w & kRxStateMask) == kRxClean) {
+          rx_[u] = kRxAwake | kRxCollided;
         }
+        // else: sleeping/dead (no awake bit), already collided, or a
+        // transmitter (kRxSelf) — nothing can change.
       }
       // A transmitting node cannot receive in the same slot.
-      tx_stamp_[sender] = now;
-      tx_count_[sender] = kSelfBusy;
+      rx_[sender] = kRxAwake | kRxSelf;
     }
 
     // (4) Deliver to listeners with exactly one active neighbor.  Each
-    // touched listener appears once; counts are final by now.
+    // touched listener appears once; states are final by now.
     for (const NodeId u : touched_) {
-      const std::uint32_t c = tx_count_[u];
-      if (c == 1) {
-        const Message& msg = transmitters_[tx_src_[u]];
+      const std::uint32_t w = rx_[u];
+      if ((w & kRxStateMask) == kRxClean) {
+        const Message& msg = transmitters_[w & kRxSrcMask];
         if (medium_.drop_probability > 0.0 &&
             medium_rng_.chance(medium_.drop_probability)) {
           ++stats_.dropped;  // fading: clean reception lost anyway
@@ -322,18 +392,28 @@ class Engine {
           SlotContext ctx = context(u, now);
           nodes_[u].on_receive(ctx, msg);
         }
-      } else if (c < kSelfBusy) {  // c >= 2 and u is not a sender
+      } else if ((w & kRxStateMask) == kRxCollided) {
         ++stats_.collisions;
         emit([&] { return obs::Event::collision(now, u); });
       }
+      rx_[u] = kRxAwake;  // wipe for the next slot (still listening)
     }
+    // Transmitters dirtied their own rx_ word too (kRxSelf); they are
+    // live and awake by construction, so restore the bare awake flag.
+    for (const Message& m : transmitters_) rx_[m.sender] = kRxAwake;
 
     // (5) Track decisions, compacting decided nodes out of the scan so
-    // its cost follows the number of still-undecided nodes, not n.
+    // its cost follows the number of still-undecided nodes, not n.  SoA
+    // protocols answer `decided` straight from the hot block, so the
+    // scan never touches a node object.
     std::size_t keep = 0;
     for (std::size_t i = 0; i < undecided_list_.size(); ++i) {
       const NodeId v = undecided_list_[i];
-      if (nodes_[v].decided()) {
+      const bool is_decided = [&] {
+        if constexpr (kHasHotState<P>) return hot_.decided(v);
+        else return nodes_[v].decided();
+      }();
+      if (is_decided) {
         decision_slot_[v] = now;
         --pending_live_;
         emit([&] {
@@ -440,6 +520,7 @@ class Engine {
     URN_CHECK(v < nodes_.size());
     if ((status_[v] & kDeadBit) != 0) return;
     status_[v] |= kDeadBit;
+    rx_[v] = 0;  // no longer a listening candidate
     if (decision_slot_[v] == kUndecided) --pending_live_;
     if ((status_[v] & kAwakeBit) != 0) {
       std::erase(awake_list_, v);
@@ -462,10 +543,11 @@ class Engine {
   /// reconstruct from its constructor arguments is written: the slot
   /// cursor, per-node status/decision arrays, live lists, wake cursor,
   /// all RNG streams (medium + per-node), aggregate stats, and every
-  /// node's protocol state.  The per-slot scratch (tx_count_ / tx_stamp_
-  /// / tx_src_ / transmitters_ / touched_) is epoch-stamped and never
-  /// read across slot boundaries, so it is deliberately skipped — a
-  /// resumed engine's fresh scratch behaves identically.
+  /// node's protocol state.  The per-slot scratch (the rx_ touch bits,
+  /// transmitters_, touched_) is never read across slot boundaries, so
+  /// it is deliberately skipped — a resumed engine's fresh scratch
+  /// behaves identically (the persistent rx_ awake flags are rebuilt
+  /// from status_ on load).
   void save_state(obs::postmortem::Writer& w) const {
     w.u64(nodes_.size());
     w.i64(slot_);
@@ -506,6 +588,12 @@ class Engine {
     stats_.all_decided = r.boolean();
     if (!obs::postmortem::read_rng(r, medium_rng_)) return false;
     for (std::uint8_t& s : status_) s = r.u8();
+    // The persistent part of the medium word is a pure function of
+    // status_; the per-slot touch bits are always clear between slots,
+    // which is when checkpoints are taken.
+    for (NodeId v = 0; v < status_.size(); ++v) {
+      rx_[v] = status_[v] == kAwakeBit ? kRxAwake : 0;
+    }
     for (Slot& s : decision_slot_) s = r.i64();
     const std::uint64_t n_awake = r.u64();
     if (!r.ok() || n_awake > nodes_.size()) return false;
@@ -560,9 +648,18 @@ class Engine {
   static constexpr std::uint8_t kAwakeBit = 0x1;
   static constexpr std::uint8_t kDeadBit = 0x2;
 
-  /// Marks a transmitter's own tx_count_: senders never receive, and any
-  /// later increments keep the value far above every real count.
-  static constexpr std::uint32_t kSelfBusy = 0x40000000;
+  // Layout of the per-node medium word rx_ (see step section 3): the
+  // top bit is the persistent "live awake listener" flag (maintained on
+  // wake / deactivate / load_state), the next two bits are the per-slot
+  // touch state, and the low 29 bits hold the transmitter index while
+  // the state is kRxClean.  Between slots every word is either 0 or
+  // exactly kRxAwake.
+  static constexpr std::uint32_t kRxAwake = 1u << 31;
+  static constexpr std::uint32_t kRxClean = 1u << 29;
+  static constexpr std::uint32_t kRxCollided = 2u << 29;
+  static constexpr std::uint32_t kRxSelf = 3u << 29;
+  static constexpr std::uint32_t kRxStateMask = 3u << 29;
+  static constexpr std::uint32_t kRxSrcMask = (1u << 29) - 1;
 
   /// Emit an event built by `make` — compiled away entirely for NullSink
   /// (the lambda is never instantiated, so event construction costs
@@ -596,7 +693,6 @@ class Engine {
     SlotContext ctx;
     ctx.id = v;
     ctx.now = now;
-    ctx.awake_for = now - schedule_.wake_slot(v);
     ctx.rng = &rngs_[v];
     if constexpr (S::kEnabled) {
       if (sink_ != nullptr) {
@@ -612,6 +708,10 @@ class Engine {
   const graph::Graph& graph_;
   WakeSchedule schedule_;
   std::vector<P> nodes_;
+  /// SoA hot block for opted-in protocols (empty NoHotState otherwise).
+  /// Nodes hold raw pointers into it, so the engine is neither copyable
+  /// nor movable (see the deleted special members above).
+  HotStateOf<P> hot_;
   MediumOptions medium_;
   Rng medium_rng_;
   S* sink_;
@@ -632,10 +732,10 @@ class Engine {
   /// termination counter behind `all_decided()`.
   std::size_t pending_live_ = 0;
 
-  // Per-slot scratch (epoch-stamped; never cleared wholesale).
-  std::vector<std::uint32_t> tx_count_;
-  std::vector<Slot> tx_stamp_;
-  std::vector<std::uint32_t> tx_src_;  ///< index into transmitters_ (count 1)
+  /// Per-node medium word: persistent awake flag + per-slot touch state
+  /// (see the kRx* constants).  The dirtied entries are wiped at the end
+  /// of every slot, so no wholesale clear is ever needed.
+  std::vector<std::uint32_t> rx_;
   std::vector<Message> transmitters_;
   std::vector<NodeId> touched_;  ///< live listeners touched this slot
 

@@ -57,6 +57,7 @@ class MisalignedEngine {
       : graph_(g),
         schedule_(std::move(schedule)),
         nodes_(std::move(nodes)),
+        hot_(g.num_nodes()),
         offsets_(std::move(offsets)),
         sink_(sink),
         awake_(g.num_nodes(), 0),
@@ -71,6 +72,12 @@ class MisalignedEngine {
     URN_CHECK(schedule_.size() == graph_.num_nodes());
     URN_CHECK(offsets_.size() == graph_.num_nodes());
     for (std::uint8_t o : offsets_) URN_CHECK(o <= 1);
+    if constexpr (kHasHotState<P>) {
+      // SoA protocols keep hot state in the engine-owned block (see
+      // engine.hpp); the half-slot medium keeps the scalar `on_slot`
+      // loop — interleaved parities give no contiguous batch to sweep.
+      for (P& node : nodes_) node.attach_hot(&hot_);
+    }
     rngs_.reserve(graph_.num_nodes());
     for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
       rngs_.emplace_back(mix_seed(seed, v));
@@ -90,6 +97,10 @@ class MisalignedEngine {
                 });
     }
   }
+
+  // Nodes point into the engine-owned hot block (see Engine).
+  MisalignedEngine(const MisalignedEngine&) = delete;
+  MisalignedEngine& operator=(const MisalignedEngine&) = delete;
 
   /// Uniformly random offsets, the natural "unsynchronized clocks" model.
   [[nodiscard]] static std::vector<std::uint8_t> random_offsets(
@@ -456,7 +467,6 @@ class MisalignedEngine {
     SlotContext ctx;
     ctx.id = v;
     ctx.now = local;
-    ctx.awake_for = local - schedule_.wake_slot(v);
     ctx.rng = &rngs_[v];
     if constexpr (S::kEnabled) {
       if (sink_ != nullptr) {
@@ -472,6 +482,7 @@ class MisalignedEngine {
   const graph::Graph& graph_;
   WakeSchedule schedule_;
   std::vector<P> nodes_;
+  HotStateOf<P> hot_;  ///< SoA hot block (NoHotState when P has none)
   std::vector<std::uint8_t> offsets_;
   S* sink_ = nullptr;
   T* probe_ = nullptr;  ///< telemetry probe (optional)

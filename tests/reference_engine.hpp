@@ -44,8 +44,15 @@ class ReferenceEngine {
       : graph_(g),
         schedule_(std::move(schedule)),
         nodes_(std::move(nodes)),
+        hot_(g.num_nodes()),
         medium_(medium),
         medium_rng_(mix_seed(seed, 0xFADEDull)) {
+    if constexpr (radio::kHasHotState<P>) {
+      // SoA protocols (core::ColoringNode) keep hot state in an
+      // engine-owned block; the reference engine attaches like the real
+      // engines do but always runs the naive scalar loop.
+      for (P& node : nodes_) node.attach_hot(&hot_);
+    }
     for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
       rngs_.emplace_back(mix_seed(seed, v));
     }
@@ -178,7 +185,6 @@ class ReferenceEngine {
     radio::SlotContext ctx;
     ctx.id = v;
     ctx.now = now;
-    ctx.awake_for = now - schedule_.wake_slot(v);
     ctx.rng = &rngs_[v];
     return ctx;
   }
@@ -186,6 +192,7 @@ class ReferenceEngine {
   const graph::Graph& graph_;
   radio::WakeSchedule schedule_;
   std::vector<P> nodes_;
+  radio::HotStateOf<P> hot_;
   radio::MediumOptions medium_;
   Rng medium_rng_;
   std::vector<Rng> rngs_;

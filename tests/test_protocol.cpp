@@ -21,7 +21,6 @@ radio::SlotContext ctx_at(graph::NodeId id, radio::Slot now, Rng& rng) {
   radio::SlotContext ctx;
   ctx.id = id;
   ctx.now = now;
-  ctx.awake_for = now;
   ctx.rng = &rng;
   return ctx;
 }
@@ -31,7 +30,9 @@ radio::SlotContext ctx_at(graph::NodeId id, radio::Slot now, Rng& rng) {
 TEST(Protocol, WakesIntoVerifyZero) {
   const Params p = tiny_params();
   Rng rng(1);
+  ColoringHot hot(1);
   ColoringNode node(&p, 0);
+  node.attach_hot(&hot);
   auto ctx = ctx_at(0, 0, rng);
   node.on_wake(ctx);
   EXPECT_EQ(node.phase(), Phase::kVerify);
@@ -43,7 +44,9 @@ TEST(Protocol, WakesIntoVerifyZero) {
 TEST(Protocol, PassivePhaseIsSilent) {
   const Params p = tiny_params();
   Rng rng(2);
+  ColoringHot hot(1);
   ColoringNode node(&p, 0);
+  node.attach_hot(&hot);
   auto ctx = ctx_at(0, 0, rng);
   node.on_wake(ctx);
   for (radio::Slot t = 0; t < p.passive_slots(); ++t) {
@@ -55,7 +58,9 @@ TEST(Protocol, PassivePhaseIsSilent) {
 TEST(Protocol, IsolatedNodeDecidesAtExactThreshold) {
   const Params p = tiny_params();
   Rng rng(3);
+  ColoringHot hot(1);
   ColoringNode node(&p, 0);
+  node.attach_hot(&hot);
   auto ctx = ctx_at(0, 0, rng);
   node.on_wake(ctx);
   // Passive phase, then counter climbs 1, 2, …, threshold.
@@ -75,7 +80,9 @@ TEST(Protocol, IsolatedNodeDecidesAtExactThreshold) {
 TEST(Protocol, HearingLeaderInA0MovesToRequest) {
   const Params p = tiny_params();
   Rng rng(4);
+  ColoringHot hot(1);
   ColoringNode node(&p, 0);
+  node.attach_hot(&hot);
   auto ctx = ctx_at(0, 0, rng);
   node.on_wake(ctx);
   node.on_receive(ctx, radio::make_decided(7, 0));
@@ -88,7 +95,9 @@ TEST(Protocol, AssignMessageAlsoIdentifiesLeader) {
   // sender is in C₀ (Fig. 2: any M_C^0 message).
   const Params p = tiny_params();
   Rng rng(5);
+  ColoringHot hot(1);
   ColoringNode node(&p, 0);
+  node.attach_hot(&hot);
   auto ctx = ctx_at(0, 0, rng);
   node.on_wake(ctx);
   node.on_receive(ctx, radio::make_assign(9, /*w=*/3, /*tc=*/2));
@@ -99,7 +108,9 @@ TEST(Protocol, AssignMessageAlsoIdentifiesLeader) {
 TEST(Protocol, RequestOnlyAcceptsOwnAssignment) {
   const Params p = tiny_params();
   Rng rng(6);
+  ColoringHot hot(1);
   ColoringNode node(&p, 0);
+  node.attach_hot(&hot);
   auto ctx = ctx_at(0, 0, rng);
   node.on_wake(ctx);
   node.on_receive(ctx, radio::make_decided(7, 0));  // leader 7
@@ -121,7 +132,9 @@ TEST(Protocol, RequestOnlyAcceptsOwnAssignment) {
 TEST(Protocol, CoveredVerifierAdvancesToNextColor) {
   const Params p = tiny_params();
   Rng rng(7);
+  ColoringHot hot(1);
   ColoringNode node(&p, 0);
+  node.attach_hot(&hot);
   auto ctx = ctx_at(0, 0, rng);
   node.on_wake(ctx);
   node.on_receive(ctx, radio::make_decided(7, 0));
@@ -140,7 +153,9 @@ TEST(Protocol, CoveredVerifierAdvancesToNextColor) {
 TEST(Protocol, CompetitorWithinCriticalRangeCausesReset) {
   const Params p = tiny_params();
   Rng rng(8);
+  ColoringHot hot(1);
   ColoringNode node(&p, 0);
+  node.attach_hot(&hot);
   auto wake = ctx_at(0, 0, rng);
   node.on_wake(wake);
   // Finish the passive phase and climb a little.
@@ -162,7 +177,9 @@ TEST(Protocol, CompetitorWithinCriticalRangeCausesReset) {
 TEST(Protocol, CompetitorOutsideCriticalRangeIsOnlyStored) {
   const Params p = tiny_params();
   Rng rng(9);
+  ColoringHot hot(1);
   ColoringNode node(&p, 0);
+  node.attach_hot(&hot);
   auto wake = ctx_at(0, 0, rng);
   node.on_wake(wake);
   radio::Slot t = 0;
@@ -182,7 +199,9 @@ TEST(Protocol, CompetitorOutsideCriticalRangeIsOnlyStored) {
 TEST(Protocol, CompetitorOfOtherColorIgnored) {
   const Params p = tiny_params();
   Rng rng(10);
+  ColoringHot hot(1);
   ColoringNode node(&p, 0);
+  node.attach_hot(&hot);
   auto wake = ctx_at(0, 0, rng);
   node.on_wake(wake);
   radio::Slot t = 0;
@@ -200,7 +219,9 @@ TEST(Protocol, NaivePolicyResetsToZeroOnHigherCounter) {
   Params p = tiny_params();
   p.reset_policy = ResetPolicy::kNaive;
   Rng rng(11);
+  ColoringHot hot(1);
   ColoringNode node(&p, 0);
+  node.attach_hot(&hot);
   auto wake = ctx_at(0, 0, rng);
   node.on_wake(wake);
   radio::Slot t = 0;
@@ -223,7 +244,9 @@ TEST(Protocol, NonePolicyNeverResets) {
   Params p = tiny_params();
   p.reset_policy = ResetPolicy::kNone;
   Rng rng(12);
+  ColoringHot hot(1);
   ColoringNode node(&p, 0);
+  node.attach_hot(&hot);
   auto wake = ctx_at(0, 0, rng);
   node.on_wake(wake);
   radio::Slot t = 0;
@@ -300,7 +323,9 @@ TEST(Protocol, DecidedNodeKeepsAnnouncing) {
   // transmissions over a long window.
   const Params p = tiny_params();
   Rng rng(13);
+  ColoringHot hot(1);
   ColoringNode node(&p, 0);
+  node.attach_hot(&hot);
   auto wake = ctx_at(0, 0, rng);
   node.on_wake(wake);
   radio::Slot t = 0;

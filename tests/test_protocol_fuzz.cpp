@@ -52,7 +52,9 @@ TEST_P(ProtocolFuzz, SurvivesArbitraryTrafficWithInvariantsIntact) {
   const Params params = Params::practical(64, 6, 4, 6);
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17);
 
+  ColoringHot hot(1);
   ColoringNode node(&params, /*id=*/0);
+  node.attach_hot(&hot);
   radio::SlotContext ctx;
   ctx.id = 0;
   ctx.rng = &rng;
@@ -64,7 +66,6 @@ TEST_P(ProtocolFuzz, SurvivesArbitraryTrafficWithInvariantsIntact) {
 
   for (radio::Slot t = 0; t < 30000; ++t) {
     ctx.now = t;
-    ctx.awake_for = t;
     (void)node.on_slot(ctx);
 
     // Random barrage: up to 2 messages per slot, half the slots.
@@ -110,7 +111,9 @@ TEST(ProtocolFuzz, AdversarialCoverEveryColorForcesForwardProgressOnly) {
   // never decide or regress.
   const Params params = Params::practical(64, 6, 4, 6);
   Rng rng(99);
+  ColoringHot hot(1);
   ColoringNode node(&params, 0);
+  node.attach_hot(&hot);
   radio::SlotContext ctx;
   ctx.id = 0;
   ctx.rng = &rng;
@@ -135,7 +138,9 @@ TEST(ProtocolFuzz, CounterSpamCannotForceEarlyDecision) {
   // the threshold faster than the slot clock allows.
   const Params params = Params::practical(64, 6, 4, 6);
   Rng rng(123);
+  ColoringHot hot(1);
   ColoringNode node(&params, 0);
+  node.attach_hot(&hot);
   radio::SlotContext ctx;
   ctx.id = 0;
   ctx.rng = &rng;

@@ -279,6 +279,51 @@ TEST(EngineDiffRun, WholeRunStatsMatchFieldForField) {
   }
 }
 
+// A traced engine instantiation (any enabled sink) keeps the scalar
+// per-node `on_slot` loop — per-node contexts carry the event hook —
+// while the untraced instantiation runs `ColoringNode::batch_slots`.
+// The protocol's contract says the two are bit-identical; this pins it
+// end to end across families and lossy media: same stats, same per-node
+// state, and the same `save_state` byte blob (which serializes every
+// hot-block array, competitor list, and RNG stream).
+TEST(EngineDiffBatch, TracedScalarLoopMatchesUntracedBatchLoop) {
+  using TracedCase = std::tuple<std::string, std::uint64_t, double>;
+  for (const auto& [family, seed, drop] :
+       {TracedCase{"udg", 81, 0.0}, TracedCase{"gnp", 82, 0.2},
+        TracedCase{"star", 83, 0.0}, TracedCase{"cycle", 84, 0.3}}) {
+    const graph::Graph g = make_graph(family, seed);
+    const auto delta = std::max(2u, g.max_closed_degree());
+    const core::Params params =
+        core::Params::practical(g.num_nodes(), delta, 5, 12);
+    radio::MediumOptions medium;
+    medium.drop_probability = drop;
+
+    Rng wrng(mix_seed(seed, 91));
+    const auto schedule =
+        radio::WakeSchedule::uniform(g.num_nodes(), 400, wrng);
+
+    std::vector<core::ColoringNode> a_nodes, b_nodes;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      a_nodes.emplace_back(&params, v);
+      b_nodes.emplace_back(&params, v);
+    }
+    radio::Engine<core::ColoringNode> batch(g, schedule, std::move(a_nodes),
+                                            seed, medium);
+    obs::RingSink ring(1 << 10);
+    radio::Engine<core::ColoringNode, obs::RingSink> scalar(
+        g, schedule, std::move(b_nodes), seed, medium, &ring);
+
+    const radio::Slot budget = 4 * params.threshold() + 2000;
+    expect_stats_equal(batch.run(budget), scalar.run(budget));
+    expect_nodes_equal(g, batch, scalar);
+
+    obs::postmortem::Writer blob_batch, blob_scalar;
+    batch.save_state(blob_batch);
+    scalar.save_state(blob_scalar);
+    EXPECT_EQ(blob_batch.data(), blob_scalar.data()) << family << seed;
+  }
+}
+
 // ---- checkpoint → resume fuzz grid (postmortem) ---------------------------
 //
 // The postmortem contract: serializing an engine mid-run and resuming
@@ -436,7 +481,15 @@ INSTANTIATE_TEST_SUITE_P(
                       ResumeCase{"gnp", 62, 0.25, false},
                       ResumeCase{"star", 63, 0.15, false},
                       ResumeCase{"udg", 64, 0.1, true},
-                      ResumeCase{"cycle", 65, 0.35, true}),
+                      ResumeCase{"cycle", 65, 0.35, true},
+                      // SoA-era additions: the hot block (klass bytes,
+                      // counters, passive countdowns) and the parallel
+                      // competitor arrays travel through the v1 blob as
+                      // derived per-node fields — more seeds and both
+                      // schedule shapes fuzz that round-trip.
+                      ResumeCase{"udg", 66, 0.3, false},
+                      ResumeCase{"gnp", 67, 0.0, true},
+                      ResumeCase{"star", 68, 0.05, true}),
     [](const ::testing::TestParamInfo<ResumeCase>& param_info) {
       return std::get<0>(param_info.param) + "_s" +
              std::to_string(std::get<1>(param_info.param)) +
